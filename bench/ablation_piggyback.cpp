@@ -1,0 +1,79 @@
+// Ablation: what exactly does VC_sd buy over VC_d?
+//
+// VC_sd differs from VC_d in two fused mechanisms: (1) successive diffs of
+// a page are *integrated* into a single diff, and (2) the integrated diffs
+// are *piggybacked* on the view-grant message instead of being pulled by
+// page faults. Running the same view-ping-pong workload on both runtimes
+// separates the protocols' costs; the version-chain length (how many writers
+// touched the view between two acquisitions by the same node) controls how
+// much integration can compress.
+#include <benchmark/benchmark.h>
+
+#include "vopp/cluster.hpp"
+
+namespace {
+
+using namespace vodsm;
+
+struct Outcome {
+  double seconds;
+  uint64_t messages;
+  uint64_t payload;
+  uint64_t diff_requests;
+};
+
+// `writers` nodes update a shared view in turn; one reader then acquires
+// it, having last seen it `writers` versions ago (version-chain length =
+// writers).
+Outcome chainWorkload(dsm::Protocol proto, int writers) {
+  const int procs = writers + 1;
+  vopp::Cluster cluster({.nprocs = procs, .protocol = proto});
+  dsm::ViewId v = cluster.defineView(4 * 4096);
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    size_t off = node.cluster().viewOffset(v);
+    for (int round = 0; round < 10; ++round) {
+      if (node.id() < writers) {
+        co_await node.acquireView(v);
+        co_await node.touchWrite(off, 4 * 4096);
+        auto span = node.mem(off, 4 * 4096);
+        std::fill(span.begin(), span.end(),
+                  static_cast<std::byte>(node.id() + round));
+        co_await node.releaseView(v);
+      }
+      co_await node.barrier();
+      if (node.id() == writers) {  // the reader
+        co_await node.acquireRview(v);
+        co_await node.touchRead(off, 4 * 4096);
+        co_await node.releaseRview(v);
+      }
+      co_await node.barrier();
+    }
+  });
+  return {cluster.seconds(), cluster.netStats().messages,
+          cluster.netStats().payload_bytes, cluster.dsmStats().diff_requests};
+}
+
+void BM_VersionChain(benchmark::State& state) {
+  const auto proto = state.range(0) == 0 ? dsm::Protocol::kVcDiff
+                                         : dsm::Protocol::kVcSd;
+  const int writers = static_cast<int>(state.range(1));
+  Outcome out{};
+  for (auto _ : state) {
+    out = chainWorkload(proto, writers);
+    benchmark::DoNotOptimize(out.seconds);
+  }
+  state.counters["simulated_s"] = out.seconds;
+  state.counters["messages"] = static_cast<double>(out.messages);
+  state.counters["payload_kb"] = static_cast<double>(out.payload) / 1024.0;
+  state.counters["diff_requests"] = static_cast<double>(out.diff_requests);
+}
+
+void registerArgs(benchmark::internal::Benchmark* b) {
+  for (int proto : {0, 1})
+    for (int writers : {1, 2, 4, 8}) b->Args({proto, writers});
+}
+BENCHMARK(BM_VersionChain)->Apply(registerArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,5 @@
+// Umbrella header for the table benchmarks.
+#pragma once
+
+#include "bench/paper_params.hpp"
+#include "bench/table_common.hpp"

@@ -1,0 +1,97 @@
+// Microbenchmark: host-side cost of the diff machinery (create, apply,
+// integrate) as a function of page dirtiness. These are the operations the
+// cost model charges for; this bench grounds the constants.
+#include <benchmark/benchmark.h>
+
+#include "mem/diff.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using vodsm::Bytes;
+using vodsm::mem::Diff;
+using vodsm::mem::kPageSize;
+
+Bytes makePage(uint64_t seed) {
+  vodsm::sim::Rng rng(seed);
+  Bytes page(kPageSize);
+  for (auto& b : page) b = static_cast<std::byte>(rng.below(256));
+  return page;
+}
+
+Bytes mutate(const Bytes& base, double density, uint64_t seed) {
+  vodsm::sim::Rng rng(seed);
+  Bytes out = base;
+  for (size_t w = 0; w + 4 <= out.size(); w += 4)
+    if (rng.uniform() < density) out[w] = static_cast<std::byte>(rng.below(256));
+  return out;
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Bytes twin = makePage(1);
+  Bytes cur = mutate(twin, density, 2);
+  for (auto _ : state) {
+    Diff d = Diff::create(0, cur, twin);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Bytes twin = makePage(1);
+  Bytes cur = mutate(twin, density, 2);
+  Diff d = Diff::create(0, cur, twin);
+  Bytes target = twin;
+  for (auto _ : state) {
+    d.apply(target);
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.counters["wire_bytes"] = static_cast<double>(d.wireSize());
+}
+BENCHMARK(BM_DiffApply)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffIntegrate(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Bytes base = makePage(1);
+  Bytes v1 = mutate(base, density, 2);
+  Bytes v2 = mutate(v1, density, 3);
+  Diff d1 = Diff::create(0, v1, base);
+  Diff d2 = Diff::create(0, v2, v1);
+  for (auto _ : state) {
+    Diff merged = Diff::integrate(d1, d2);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_DiffIntegrate)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+// Integration saves wire bytes versus shipping the chain: report the ratio.
+void BM_IntegrationCompression(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  Bytes base = makePage(1);
+  std::vector<Diff> diffs;
+  Bytes prev = base;
+  for (int i = 0; i < chain; ++i) {
+    Bytes next = mutate(prev, 0.3, static_cast<uint64_t>(i + 2));
+    diffs.push_back(Diff::create(0, next, prev));
+    prev = next;
+  }
+  size_t chain_bytes = 0;
+  for (const Diff& d : diffs) chain_bytes += d.wireSize();
+  Diff merged = diffs[0];
+  for (auto _ : state) {
+    merged = diffs[0];
+    for (int i = 1; i < chain; ++i) merged = Diff::integrate(merged, diffs[static_cast<size_t>(i)]);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.counters["chain_bytes"] = static_cast<double>(chain_bytes);
+  state.counters["integrated_bytes"] = static_cast<double>(merged.wireSize());
+  state.counters["compression"] =
+      static_cast<double>(chain_bytes) / static_cast<double>(merged.wireSize());
+}
+BENCHMARK(BM_IntegrationCompression)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

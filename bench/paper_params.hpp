@@ -1,0 +1,65 @@
+// Problem sizes for the paper-table benchmarks.
+//
+// `full` approximates the paper's sizes (Section 5); the default is a
+// scaled-down configuration with identical structure that keeps the whole
+// suite within seconds. EXPERIMENTS.md records which one each published
+// result used.
+#pragma once
+
+#include "apps/gauss.hpp"
+#include "apps/is.hpp"
+#include "apps/nn.hpp"
+#include "apps/sor.hpp"
+
+namespace vodsm::bench {
+
+inline apps::IsParams isParams(bool full) {
+  apps::IsParams p;
+  if (full) {
+    p.max_key = (1u << 15) - 1;  // 32 K buckets = 32 pages of counts
+    p.n_keys = 1u << 23;
+    p.iterations = 40;
+  } else {
+    p.max_key = (1u << 13) - 1;  // 8 K buckets = 8 pages of counts
+    p.n_keys = 1u << 20;
+    p.iterations = 10;
+  }
+  return p;
+}
+
+inline apps::GaussParams gaussParams(bool full) {
+  apps::GaussParams p;
+  p.flop_ns = 80;  // memory-bound row updates on the 350 MHz testbed
+  p.n = full ? 1024 : 448;  // paper: 1024 elimination steps
+  return p;
+}
+
+inline apps::SorParams sorParams(bool full) {
+  apps::SorParams p;
+  p.flop_ns = 80;  // memory-bound stencil updates
+  if (full) {
+    p.rows = 1024;
+    p.cols = 1024;
+    p.iterations = 50;  // paper: 50 iterations
+  } else {
+    p.rows = 512;
+    p.cols = 512;
+    p.iterations = 20;
+  }
+  return p;
+}
+
+inline apps::NnParams nnParams(bool full) {
+  apps::NnParams p;
+  // paper: 9-40-1-ish network, 235 epochs
+  if (full) {
+    p.samples = 1024;
+    p.epochs = 235;
+  } else {
+    p.samples = 512;
+    p.epochs = 30;
+  }
+  return p;
+}
+
+}  // namespace vodsm::bench

@@ -1,0 +1,34 @@
+// Table 8: statistics of NN on 16 processors.
+//
+// Expected shape (paper Section 5.4): VC_d alone shows no advantage — the
+// VOPP program uses more view primitives, so it sends more messages and
+// data and runs slower than LRC_d. The potential only pays off with the
+// integrated-diff implementation: VC_sd cuts messages and data sharply
+// (diff integration + piggybacking) and beats LRC_d.
+#include "bench/helpers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vodsm;
+  auto opts = bench::parseArgs(argc, argv);
+  auto params = bench::nnParams(opts.full);
+
+  bench::StatsTable table("Table 8: Statistics of NN on " +
+                          std::to_string(opts.procs) + " processors");
+  table.add("LRC_d",
+            apps::runNn(bench::baseConfig(dsm::Protocol::kLrcDiff, opts.procs),
+                        params, apps::NnVariant::kTraditional)
+                .result,
+            /*show_acquire_time=*/true);
+  table.add("VC_d",
+            apps::runNn(bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
+                        params, apps::NnVariant::kVopp)
+                .result,
+            /*show_acquire_time=*/true);
+  table.add("VC_sd",
+            apps::runNn(bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
+                        params, apps::NnVariant::kVopp)
+                .result,
+            /*show_acquire_time=*/true);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Shared helpers for the paper-table benchmark binaries.
+//
+// Each binary regenerates one table of the paper's evaluation (Section 5).
+// Default problem sizes are scaled down from the paper's so the full suite
+// runs in seconds; pass --full for paper-scale sizes and --procs=N to
+// override the processor count of the statistics tables.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/run.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace vodsm::bench {
+
+struct Options {
+  bool full = false;
+  int procs = 16;
+};
+
+inline Options parseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--full") o.full = true;
+    else if (a.rfind("--procs=", 0) == 0) o.procs = std::stoi(a.substr(8));
+    else {
+      std::cerr << "usage: " << argv[0] << " [--full] [--procs=N]\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+inline harness::RunConfig baseConfig(dsm::Protocol proto, int nprocs) {
+  harness::RunConfig c;
+  c.protocol = proto;
+  c.nprocs = nprocs;
+  return c;
+}
+
+// Configuration for the sequential baseline of the speedup tables: one
+// processor and a zero-cost DSM (a real sequential program takes no page
+// faults, makes no twins and diffs nothing), leaving pure compute time.
+inline harness::RunConfig sequentialConfig() {
+  harness::RunConfig c;
+  c.protocol = dsm::Protocol::kLrcDiff;
+  c.nprocs = 1;
+  c.costs = dsm::DsmCosts{.page_fault = 0,
+                          .twin_copy = 0,
+                          .diff_create_base = 0,
+                          .diff_create_per_kb = 0,
+                          .diff_apply_base = 0,
+                          .diff_apply_per_kb = 0,
+                          .handler_service = 0,
+                          .barrier_fold = 0,
+                          .barrier_per_notice = 0,
+                          .apply_notice = 0,
+                          .copy_per_kb = 0};
+  return c;
+}
+
+// Paper-style statistics table: one column per DSM implementation.
+class StatsTable {
+ public:
+  explicit StatsTable(std::string title) : title_(std::move(title)) {}
+
+  void add(const std::string& name, const harness::RunResult& r,
+           bool show_acquire_time = false) {
+    names_.push_back(name);
+    runs_.push_back(r);
+    show_acquire_time_ |= show_acquire_time;
+  }
+
+  void print(std::ostream& os) const {
+    os << "\n" << title_ << "\n";
+    TextTable t;
+    std::vector<std::string> header{""};
+    for (const auto& n : names_) header.push_back(n);
+    t.header(header);
+    row(t, "Time (Sec.)", [](const harness::RunResult& r) {
+      return TextTable::format(r.seconds);
+    });
+    row(t, "Barriers", [](const harness::RunResult& r) {
+      return TextTable::format(r.barrierEpisodes());
+    });
+    row(t, "Acquires", [](const harness::RunResult& r) {
+      return TextTable::format(r.dsm.acquires);
+    });
+    row(t, "Data (MByte)", [](const harness::RunResult& r) {
+      return TextTable::format(r.dataMBytes());
+    });
+    row(t, "Num. Msg", [](const harness::RunResult& r) {
+      return TextTable::format(r.net.messages);
+    });
+    row(t, "Diff Requests", [](const harness::RunResult& r) {
+      return TextTable::format(r.dsm.diff_requests);
+    });
+    row(t, "Barrier Time (usec.)", [](const harness::RunResult& r) {
+      return TextTable::format(r.dsm.avgBarrierMicros());
+    });
+    if (show_acquire_time_) {
+      row(t, "Acquire Time (usec.)", [](const harness::RunResult& r) {
+        return TextTable::format(r.dsm.avgAcquireMicros());
+      });
+    }
+    row(t, "Rexmit", [](const harness::RunResult& r) {
+      return TextTable::format(r.net.retransmissions);
+    });
+    t.print(os);
+  }
+
+ private:
+  template <typename F>
+  void row(TextTable& t, const std::string& label, F&& fmt) const {
+    std::vector<std::string> cells{label};
+    for (const auto& r : runs_) cells.push_back(fmt(r));
+    t.row(std::move(cells));
+  }
+
+  std::string title_;
+  std::vector<std::string> names_;
+  std::vector<harness::RunResult> runs_;
+  bool show_acquire_time_ = false;
+};
+
+// Paper-style speedup table: rows are implementations, columns processor
+// counts; speedup is sequential time / parallel time.
+class SpeedupTable {
+ public:
+  SpeedupTable(std::string title, std::vector<int> procs)
+      : title_(std::move(title)), procs_(std::move(procs)) {}
+
+  const std::vector<int>& procs() const { return procs_; }
+
+  void add(const std::string& name, double sequential_seconds,
+           const std::vector<double>& parallel_seconds) {
+    VODSM_CHECK(parallel_seconds.size() == procs_.size());
+    std::vector<double> speedups;
+    for (double t : parallel_seconds)
+      speedups.push_back(t > 0 ? sequential_seconds / t : 0.0);
+    rows_.emplace_back(name, std::move(speedups));
+  }
+
+  void print(std::ostream& os) const {
+    os << "\n" << title_ << "\n";
+    TextTable t;
+    std::vector<std::string> header{""};
+    for (int p : procs_) header.push_back(std::to_string(p) + "-p");
+    t.header(header);
+    for (const auto& [name, sp] : rows_) {
+      std::vector<std::string> cells{name};
+      for (double s : sp) cells.push_back(TextTable::format(s));
+      t.row(std::move(cells));
+    }
+    t.print(os);
+  }
+
+ private:
+  std::string title_;
+  std::vector<int> procs_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+}  // namespace vodsm::bench

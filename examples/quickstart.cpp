@@ -1,0 +1,89 @@
+// Quickstart: a parallel sum in the View-Oriented Parallel Programming
+// style, run on a simulated 8-node cluster under the VC_sd runtime.
+//
+//   $ ./quickstart
+//
+// Each node owns a slice of a big array (its own view), computes a partial
+// sum locally, and folds it into a shared accumulator view. Node 0 then
+// reads the result under an Rview. Compare the printed statistics with what
+// the same program does under LRC_d and VC_d.
+#include <cstdio>
+#include <numeric>
+
+#include "vopp/cluster.hpp"
+
+using namespace vodsm;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr size_t kIntsPerNode = 4096;
+
+double runOnce(dsm::Protocol proto) {
+  vopp::Cluster cluster({.nprocs = kProcs, .protocol = proto});
+
+  // One data view per node plus one accumulator view.
+  std::vector<dsm::ViewId> data;
+  for (int i = 0; i < kProcs; ++i)
+    data.push_back(cluster.defineView(kIntsPerNode * sizeof(int)));
+  dsm::ViewId acc = cluster.defineView(sizeof(int64_t));
+
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    // 1. Fill my slice (exclusive view access).
+    dsm::ViewId mine = data[static_cast<size_t>(node.id())];
+    size_t off = node.cluster().viewOffset(mine);
+    co_await node.acquireView(mine);
+    co_await node.touchWrite(off, kIntsPerNode * sizeof(int));
+    auto* p = reinterpret_cast<int*>(
+        node.mem(off, kIntsPerNode * sizeof(int)).data());
+    for (size_t i = 0; i < kIntsPerNode; ++i)
+      p[i] = node.id() * 1000 + static_cast<int>(i % 7);
+    node.chargeOps(kIntsPerNode, 20);
+    co_await node.releaseView(mine);
+
+    // 2. Partial sum, then fold into the shared accumulator.
+    int64_t partial = std::accumulate(p, p + kIntsPerNode, int64_t{0});
+    node.chargeOps(kIntsPerNode, 20);
+    size_t aoff = node.cluster().viewOffset(acc);
+    co_await node.acquireView(acc);
+    co_await node.touchWrite(aoff, sizeof(int64_t));
+    *reinterpret_cast<int64_t*>(node.mem(aoff, 8).data()) += partial;
+    co_await node.releaseView(acc);
+
+    // 3. Node 0 reads the total (concurrent read access).
+    co_await node.barrier();
+    if (node.id() == 0) {
+      co_await node.acquireRview(acc);
+      co_await node.touchRead(aoff, sizeof(int64_t));
+      int64_t total =
+          *reinterpret_cast<const int64_t*>(node.memView(aoff, 8).data());
+      std::printf("  total = %lld\n", static_cast<long long>(total));
+      co_await node.releaseRview(acc);
+    }
+    co_await node.barrier();
+  });
+
+  auto stats = cluster.dsmStats();
+  std::printf(
+      "  %-6s time=%.4fs acquires=%llu messages=%llu data=%.1fKB "
+      "diff_requests=%llu\n",
+      dsm::protocolName(proto).c_str(), cluster.seconds(),
+      static_cast<unsigned long long>(stats.acquires),
+      static_cast<unsigned long long>(cluster.netStats().messages),
+      static_cast<double>(cluster.netStats().payload_bytes) / 1024.0,
+      static_cast<unsigned long long>(stats.diff_requests));
+  return cluster.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("VOPP parallel sum on %d simulated nodes:\n", kProcs);
+  for (auto proto : {dsm::Protocol::kLrcDiff, dsm::Protocol::kVcDiff,
+                     dsm::Protocol::kVcSd})
+    runOnce(proto);
+  std::printf(
+      "\nNote how VC_sd issues zero diff requests: every view grant arrives\n"
+      "with one integrated diff per stale page (the paper's key idea).\n");
+  return 0;
+}

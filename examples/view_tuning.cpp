@@ -1,0 +1,137 @@
+// View tuning: the paper's Section 3.6 rule of thumb, demonstrated.
+//
+//   "The more views are acquired, the more messages there are in the
+//    system; and the larger a view is, the more data traffic is caused
+//    in the system when the view is acquired."
+//
+// A producer updates a small, hot slice of a big table every round; a
+// consumer reads only that slice. We run the same workload with three view
+// partitionings — one big view, a hot/cold split, and an over-fragmented
+// split — and print messages, data and time for each, showing the sweet
+// spot in the middle.
+//
+//   $ ./view_tuning
+#include <cstdio>
+#include <vector>
+
+#include "vopp/cluster.hpp"
+
+using namespace vodsm;
+
+namespace {
+
+constexpr size_t kTableBytes = 128 * 1024;  // 32 pages
+constexpr size_t kHotBytes = 4096;          // 1 page actually changing
+constexpr int kRounds = 50;
+
+struct Outcome {
+  double seconds;
+  uint64_t messages;
+  double data_kb;
+};
+
+// Partition the table into `views_for_hot` views covering the hot page and
+// `views_for_cold` views covering the rest; producer writes hot, consumer
+// reads hot.
+Outcome run(size_t hot_views, size_t cold_views) {
+  vopp::Cluster cluster({.nprocs = 2, .protocol = dsm::Protocol::kVcSd});
+  std::vector<dsm::ViewId> hot, cold;
+  for (size_t i = 0; i < hot_views; ++i)
+    hot.push_back(cluster.defineView(kHotBytes / hot_views));
+  for (size_t i = 0; i < cold_views; ++i)
+    cold.push_back(cluster.defineView((kTableBytes - kHotBytes) / cold_views));
+  // With ONE view total, hot and cold share it; model that by writing the
+  // cold data into the single hot view when cold_views == 0.
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    for (int round = 0; round < kRounds; ++round) {
+      if (node.id() == 0) {
+        // Producer: touch the whole cold region once, then update hot.
+        if (round == 0) {
+          for (dsm::ViewId v : cold) {
+            const auto& def = node.cluster().views().view(v);
+            co_await node.acquireView(v);
+            co_await node.touchWrite(def.offset, def.bytes);
+            auto span = node.mem(def.offset, def.bytes);
+            std::fill(span.begin(), span.end(), std::byte{0x5a});
+            co_await node.releaseView(v);
+          }
+        }
+        for (dsm::ViewId v : hot) {
+          const auto& def = node.cluster().views().view(v);
+          co_await node.acquireView(v);
+          co_await node.touchWrite(def.offset, def.bytes);
+          auto span = node.mem(def.offset, def.bytes);
+          std::fill(span.begin(), span.end(),
+                    static_cast<std::byte>(round + 1));
+          co_await node.releaseView(v);
+        }
+      }
+      co_await node.barrier();
+      if (node.id() == 1) {
+        for (dsm::ViewId v : hot) {
+          const auto& def = node.cluster().views().view(v);
+          co_await node.acquireRview(v);
+          co_await node.touchRead(def.offset, def.bytes);
+          co_await node.releaseRview(v);
+        }
+      }
+      co_await node.barrier();
+    }
+  });
+  return {cluster.seconds(), cluster.netStats().messages,
+          static_cast<double>(cluster.netStats().payload_bytes) / 1024.0};
+}
+
+// One huge view holding everything: consumer acquisitions drag the whole
+// table's history along.
+Outcome runMonolithic() {
+  vopp::Cluster cluster({.nprocs = 2, .protocol = dsm::Protocol::kVcSd});
+  dsm::ViewId all = cluster.defineView(kTableBytes);
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    const auto& def = node.cluster().views().view(all);
+    for (int round = 0; round < kRounds; ++round) {
+      if (node.id() == 0) {
+        co_await node.acquireView(all);
+        if (round == 0) {
+          co_await node.touchWrite(def.offset, def.bytes);  // cold fill
+          auto span = node.mem(def.offset, def.bytes);
+          std::fill(span.begin(), span.end(), std::byte{0x5a});
+        }
+        co_await node.touchWrite(def.offset, kHotBytes);
+        auto span = node.mem(def.offset, kHotBytes);
+        std::fill(span.begin(), span.end(), static_cast<std::byte>(round + 1));
+        co_await node.releaseView(all);
+      }
+      co_await node.barrier();
+      if (node.id() == 1) {
+        co_await node.acquireRview(all);
+        co_await node.touchRead(def.offset, kHotBytes);  // wants hot only
+        co_await node.releaseRview(all);
+      }
+      co_await node.barrier();
+    }
+  });
+  return {cluster.seconds(), cluster.netStats().messages,
+          static_cast<double>(cluster.netStats().payload_bytes) / 1024.0};
+}
+
+void print(const char* label, const Outcome& o) {
+  std::printf("  %-34s %8.4fs  %6llu msgs  %10.1f KB\n", label, o.seconds,
+              static_cast<unsigned long long>(o.messages), o.data_kb);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Producer/consumer over a %zu KB table whose hot slice is %zu "
+              "KB, %d rounds, VC_sd:\n\n",
+              kTableBytes / 1024, kHotBytes / 1024, kRounds);
+  print("one monolithic view", runMonolithic());
+  print("hot/cold split (the sweet spot)", run(1, 1));
+  print("over-fragmented (64 hot views)", run(64, 1));
+  std::printf(
+      "\nThe monolithic view moves the whole table on the first consumer\n"
+      "read; the over-fragmented split multiplies acquire messages. The\n"
+      "paper's rule of thumb (Section 3.6) picks the middle.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// vodsm_run — command-line experiment runner.
+//
+// Run any of the paper's applications on any runtime with explicit
+// parameters and get the paper-style statistics row:
+//
+//   vodsm_run --app=is    --runtime=vc_sd --procs=16 --variant=vopp
+//   vodsm_run --app=gauss --runtime=lrc_d --procs=8  --variant=traditional --n=512
+//   vodsm_run --app=nn    --runtime=mpi   --procs=32 --epochs=100
+//   vodsm_run --app=sor   --runtime=vc_d  --rows=1024 --cols=1024 --iters=50
+//
+// Every run is checked against the serial reference; the tool exits
+// non-zero on mismatch.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/gauss.hpp"
+#include "apps/is.hpp"
+#include "apps/nn.hpp"
+#include "apps/sor.hpp"
+
+using namespace vodsm;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --app=is|gauss|sor|nn [options]\n"
+      "  --runtime=lrc_d|vc_d|vc_sd|mpi   (default vc_sd; mpi is NN-only)\n"
+      "  --variant=vopp|traditional|vopp_lb (default vopp)\n"
+      "  --procs=N       processors (default 16)\n"
+      "  --seed=N        simulation seed (default 42)\n"
+      "  IS:    --keys=N --buckets=N --iters=N\n"
+      "  Gauss: --n=N\n"
+      "  SOR:   --rows=N --cols=N --iters=N\n"
+      "  NN:    --samples=N --epochs=N --hidden=N\n",
+      argv0);
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  uint64_t num(const std::string& key, uint64_t dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::stoull(it->second);
+  }
+};
+
+void printResult(const std::string& title, const harness::RunResult& r,
+                 bool ok) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  Time (Sec.)          %10.3f\n", r.seconds);
+  std::printf("  Barriers             %10llu\n",
+              static_cast<unsigned long long>(r.barrierEpisodes()));
+  std::printf("  Acquires             %10llu\n",
+              static_cast<unsigned long long>(r.dsm.acquires));
+  std::printf("  Data (MByte)         %10.2f\n", r.dataMBytes());
+  std::printf("  Num. Msg             %10llu\n",
+              static_cast<unsigned long long>(r.net.messages));
+  std::printf("  Diff Requests        %10llu\n",
+              static_cast<unsigned long long>(r.dsm.diff_requests));
+  std::printf("  Barrier Time (usec.) %10.2f\n", r.dsm.avgBarrierMicros());
+  std::printf("  Acquire Time (usec.) %10.2f\n", r.dsm.avgAcquireMicros());
+  std::printf("  Rexmit               %10llu\n",
+              static_cast<unsigned long long>(r.net.retransmissions));
+  std::printf("  Result               %10s\n", ok ? "ok" : "MISMATCH");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto eq = a.find('=');
+    if (a.rfind("--", 0) != 0 || eq == std::string::npos) usage(argv[0]);
+    args.kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
+  }
+  const std::string app = args.get("app", "");
+  const std::string runtime = args.get("runtime", "vc_sd");
+  const std::string variant = args.get("variant", "vopp");
+
+  harness::RunConfig cfg;
+  cfg.nprocs = static_cast<int>(args.num("procs", 16));
+  cfg.seed = args.num("seed", 42);
+  if (runtime == "lrc_d") cfg.protocol = dsm::Protocol::kLrcDiff;
+  else if (runtime == "vc_d") cfg.protocol = dsm::Protocol::kVcDiff;
+  else if (runtime == "vc_sd" || runtime == "mpi")
+    cfg.protocol = dsm::Protocol::kVcSd;
+  else usage(argv[0]);
+
+  const std::string title = app + " on " + runtime + " (" + variant + "), " +
+                            std::to_string(cfg.nprocs) + " processors";
+  try {
+    if (app == "is") {
+      apps::IsParams p;
+      p.n_keys = args.num("keys", 1u << 20);
+      p.max_key = static_cast<uint32_t>(args.num("buckets", 1u << 13) - 1);
+      p.iterations = static_cast<int>(args.num("iters", 10));
+      auto v = variant == "traditional" ? apps::IsVariant::kTraditional
+               : variant == "vopp_lb"   ? apps::IsVariant::kVoppFewerBarriers
+                                        : apps::IsVariant::kVopp;
+      auto run = apps::runIs(cfg, p, v);
+      printResult(title, run.result,
+                  run.rank_sums == apps::isSerialRankSums(p, cfg.nprocs));
+    } else if (app == "gauss") {
+      apps::GaussParams p;
+      p.n = args.num("n", 448);
+      auto v = variant == "traditional" ? apps::GaussVariant::kTraditional
+                                        : apps::GaussVariant::kVopp;
+      auto run = apps::runGauss(cfg, p, v);
+      printResult(title, run.result,
+                  run.checksum == apps::gaussSerialChecksum(p));
+    } else if (app == "sor") {
+      apps::SorParams p;
+      p.rows = args.num("rows", 512);
+      p.cols = args.num("cols", 512);
+      p.iterations = static_cast<int>(args.num("iters", 20));
+      auto v = variant == "traditional" ? apps::SorVariant::kTraditional
+                                        : apps::SorVariant::kVopp;
+      auto run = apps::runSor(cfg, p, v);
+      printResult(title, run.result,
+                  run.checksum == apps::sorSerialChecksum(p));
+    } else if (app == "nn") {
+      apps::NnParams p;
+      p.samples = args.num("samples", 512);
+      p.epochs = static_cast<int>(args.num("epochs", 30));
+      p.hidden = static_cast<int>(args.num("hidden", 40));
+      auto v = runtime == "mpi"          ? apps::NnVariant::kMpi
+               : variant == "traditional" ? apps::NnVariant::kTraditional
+                                          : apps::NnVariant::kVopp;
+      auto run = apps::runNn(cfg, p, v);
+      printResult(title, run.result,
+                  run.checksum == apps::nnSerialChecksum(p, cfg.nprocs));
+    } else {
+      usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Gauss: parallel Gaussian elimination (no pivoting; the synthetic matrix is
+// made diagonally dominant so elimination is numerically stable).
+//
+// Row-block partitioning. Per elimination step k the owner of row k
+// publishes it and every processor below eliminates its own rows.
+//
+// Variants:
+//  * kTraditional — whole matrix in one shared region (rows are not page
+//    aligned, so adjacent blocks falsely share pages); one barrier per step;
+//    pivot rows read straight out of shared memory. Runs on LRC_d.
+//  * kVopp — the paper's Section 3.1 conversion: each processor keeps its
+//    row block in a *local buffer*; pivot rows travel through two small
+//    parity-alternating pivot views; per-processor views hold the blocks
+//    only for the initial distribution and final collection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/run.hpp"
+
+namespace vodsm::apps {
+
+struct GaussParams {
+  size_t n = 256;  // matrix dimension (paper used ~2k x 2k, 1024 steps)
+  uint64_t seed = 77;
+  sim::Time flop_ns = 30;  // one multiply-add on the 350 MHz testbed
+};
+
+enum class GaussVariant { kTraditional, kVopp };
+
+struct GaussRun {
+  harness::RunResult result;
+  double checksum = 0;  // sum over the eliminated matrix
+};
+
+// Serial reference checksum (bit-identical arithmetic to the parallel runs).
+double gaussSerialChecksum(const GaussParams& p);
+
+GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
+                  GaussVariant variant);
+
+}  // namespace vodsm::apps

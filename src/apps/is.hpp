@@ -1,0 +1,57 @@
+// Integer Sort (IS): bucket-sort ranking of N keys in [0, max_key].
+//
+// Mirrors the paper's IS (Section 5.1): per iteration every processor
+// histograms its keys locally, folds the histogram into a shared global
+// bucket array, and then ranks its own keys against the global prefix sums.
+//
+// Variants:
+//  * kTraditional       — barrier-only: a shared per-processor histogram
+//                         matrix plus a shared global bucket array; three
+//                         barriers per iteration. Runs on LRC_d.
+//  * kVopp              — the same algorithm converted to views: one
+//                         contribution view per (writer, partition) slice —
+//                         home-local writes — and one view per reduced
+//                         global-count partition; same barrier count.
+//  * kVoppFewerBarriers — the paper's Section 3.2 optimization: the barrier
+//                         that only guarded buffer reuse is removed (view
+//                         exclusivity plus the two phase barriers already
+//                         order every reuse).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/run.hpp"
+
+namespace vodsm::apps {
+
+struct IsParams {
+  size_t n_keys = 1 << 16;
+  uint32_t max_key = (1 << 10) - 1;  // bucket count = max_key + 1
+  int iterations = 10;
+  uint64_t key_seed = 1234;
+  sim::Time op_ns = 25;  // cost of one elementary CPU op (350 MHz era)
+};
+
+enum class IsVariant { kTraditional, kVopp, kVoppFewerBarriers };
+
+struct IsRun {
+  harness::RunResult result;
+  // Per-processor checksum: sum of the ranks of that processor's keys.
+  std::vector<int64_t> rank_sums;
+};
+
+// Deterministic key stream shared by all variants and the serial reference.
+// Keys change every iteration (as in NPB IS) so each ranking round does
+// real work; the published checksums are those of the final iteration.
+uint32_t isKey(uint64_t seed, int iteration, uint64_t global_index,
+               uint32_t max_key);
+
+// Serial reference: per-processor-partition rank checksums of the final
+// iteration.
+std::vector<int64_t> isSerialRankSums(const IsParams& p, int nprocs);
+
+IsRun runIs(const harness::RunConfig& config, const IsParams& params,
+            IsVariant variant);
+
+}  // namespace vodsm::apps

@@ -1,0 +1,52 @@
+// NN: data-parallel back-propagation training of a feed-forward network
+// (inputs -> hidden -> outputs, tanh activations, batch gradient descent).
+//
+// Every processor trains on its slice of the training set and the weight
+// deltas are combined once per epoch. Gradients are accumulated in 64-bit
+// fixed point so the combined update is bit-identical regardless of the
+// order processors fold their contributions in — which makes the serial,
+// DSM, and MPI variants exactly comparable.
+//
+// Variants:
+//  * kTraditional — weights and delta accumulators in shared memory; deltas
+//    folded under one lock; runs on LRC_d.
+//  * kVopp — the paper's Section 3.1/3.4 conversion: training data in local
+//    buffers, weights read concurrently through acquire_Rview, deltas folded
+//    into partitioned delta views.
+//  * kMpi — the paper's Table 9 baseline: same computation over the msg
+//    (MPI-like) library with an allreduce per epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/run.hpp"
+
+namespace vodsm::apps {
+
+struct NnParams {
+  int inputs = 9;
+  int hidden = 40;
+  int outputs = 1;
+  size_t samples = 256;
+  int epochs = 8;  // paper: 235
+  double lr = 0.05;
+  uint64_t seed = 55;
+  sim::Time flop_ns = 30;
+};
+
+enum class NnVariant { kTraditional, kVopp, kMpi };
+
+struct NnRun {
+  harness::RunResult result;
+  double checksum = 0;  // sum of |w| over the trained weights
+};
+
+// Serial reference (same per-processor gradient quantization, so the
+// checksum matches the parallel runs bit for bit).
+double nnSerialChecksum(const NnParams& p, int nprocs);
+
+NnRun runNn(const harness::RunConfig& config, const NnParams& params,
+            NnVariant variant);
+
+}  // namespace vodsm::apps

@@ -1,0 +1,45 @@
+// SOR: red-black successive over-relaxation on a 2-D grid.
+//
+// Row-block partitioning; per iteration two color phases, each ending in a
+// barrier (the paper's SOR reports ~2 barriers per iteration).
+//
+// Variants:
+//  * kTraditional — the whole grid lives in one shared region and every
+//    processor relaxes its block in place. Neighbouring blocks share pages
+//    (rows are not page aligned), so every border exchange drags along
+//    falsely shared data. Runs on LRC_d.
+//  * kVopp — the paper's Section 3.3 conversion: each block lives in a
+//    local buffer; only the border rows travel, through small per-processor
+//    border views (parity-alternated so the phase barrier is the only
+//    synchronization needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/run.hpp"
+
+namespace vodsm::apps {
+
+struct SorParams {
+  size_t rows = 256;
+  size_t cols = 256;
+  int iterations = 10;  // paper: 50
+  double omega = 1.5;
+  uint64_t seed = 99;
+  sim::Time flop_ns = 30;
+};
+
+enum class SorVariant { kTraditional, kVopp };
+
+struct SorRun {
+  harness::RunResult result;
+  double checksum = 0;
+};
+
+double sorSerialChecksum(const SorParams& p);
+
+SorRun runSor(const harness::RunConfig& config, const SorParams& params,
+              SorVariant variant);
+
+}  // namespace vodsm::apps

@@ -1,0 +1,111 @@
+// VC_d and VC_sd: View-based Consistency runtimes.
+//
+// Each view has a manager (view id mod nprocs — so a "per-processor" view is
+// self-managed and its acquisitions stay off the wire). Acquisitions are
+// exclusive for writes and shared for Rviews, granted FIFO.
+//
+// VC_d (homeless diffs): the grant carries write notices for the view's
+// pages modified since the requester's last acquisition; faults fetch the
+// diffs from the writers, exactly like LRC's fault path.
+//
+// VC_sd (integrated single diff, home-based): releases ship the diffs to
+// the view's manager, which keeps a per-page version log; grants piggyback
+// one *integrated* diff per stale page, applied eagerly — so VC_sd issues
+// zero diff requests and takes no remote faults.
+//
+// Barriers are pure synchronization in both: no consistency payload, no
+// invalidation — the paper's key structural difference from LRC.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "dsm/msgs.hpp"
+#include "dsm/runtime.hpp"
+#include "sim/waiter.hpp"
+
+namespace vodsm::dsm {
+
+class VcRuntime : public Runtime {
+ public:
+  // `integrated` selects VC_sd; false selects VC_d.
+  VcRuntime(NodeCtx& ctx, bool integrated);
+
+  sim::Task<void> acquireView(ViewId v, bool readonly) override;
+  sim::Task<void> releaseView(ViewId v, bool readonly) override;
+  sim::Task<void> barrier(BarrierId b) override;
+
+  // Traditional lock primitives are not part of the VC model.
+  sim::Task<void> acquireLock(LockId) override;
+  sim::Task<void> releaseLock(LockId) override;
+
+ protected:
+  sim::Task<void> readFault(mem::PageId p) override;
+  void onPageDirtied(mem::PageId p) override;
+  void checkReadAllowed(size_t offset, size_t len) override;
+  void checkWriteAllowed(size_t offset, size_t len) override;
+
+ private:
+  struct ViewMgrState {
+    uint32_t cur_version = 0;
+    bool write_held = false;
+    int readers = 0;
+    std::deque<ViewAcqMsg> queue;
+    // history[v-1] = (writer, pages) of version v (VC_d notice source).
+    std::vector<std::pair<NodeId, std::vector<mem::PageId>>> history;
+    // VC_sd home storage: page -> (version, diff), ascending.
+    std::unordered_map<mem::PageId,
+                       std::vector<std::pair<uint32_t, mem::Diff>>>
+        diff_log;
+  };
+  struct BarrierMgrState {
+    int arrived = 0;
+    sim::Time busy_until = 0;
+  };
+
+  NodeId viewManager(ViewId v) const {
+    return ctx_.views.managerOf(v, ctx_.nprocs);
+  }
+
+  void onMessage(net::Delivery&& d, const net::ReplyToken& token);
+  void onViewAcq(const ViewAcqMsg& m, sim::Time arrive);
+  void onViewRelease(const ViewReleaseMsg& m, sim::Time arrive);
+  void onViewReadRelease(const ViewReadReleaseMsg& m, sim::Time arrive);
+  void onVcDiffReq(const DiffReqMsg& m, const net::ReplyToken& token,
+                   sim::Time arrive);
+  void onBarrArrive(const BarrArriveMsg& m, sim::Time arrive);
+  void grantNow(const ViewAcqMsg& m, ViewMgrState& st, sim::Time when);
+  void pumpQueue(ViewId view, ViewMgrState& st, sim::Time when);
+
+  bool holdsForRead(ViewId v) const {
+    auto it = read_depth_.find(v);
+    return (it != read_depth_.end() && it->second > 0) || write_held_ == v;
+  }
+
+  const bool sd_;
+
+  // Node-side state.
+  std::optional<ViewId> write_held_;
+  uint32_t write_version_ = 0;
+  std::unordered_map<ViewId, int> read_depth_;
+  std::vector<uint32_t> last_seen_;  // per view: last incorporated version
+  std::set<mem::PageId> dirty_;
+  // VC_d: pending notices per page and own diff log for serving fetches.
+  std::unordered_map<mem::PageId, std::vector<VcNotice>> pending_;
+  std::unordered_map<mem::PageId,
+                     std::vector<std::pair<uint32_t, mem::Diff>>>
+      diff_log_;
+
+  std::unordered_map<ViewId, std::unique_ptr<sim::Waiter<ViewGrantMsg>>>
+      grant_waiters_;
+  std::unordered_map<BarrierId, std::unique_ptr<sim::Waiter<BarrReleaseMsg>>>
+      barrier_waiters_;
+
+  // Manager-side state.
+  std::unordered_map<ViewId, ViewMgrState> mgr_;
+  std::unordered_map<BarrierId, BarrierMgrState> barrier_mgr_;
+};
+
+}  // namespace vodsm::dsm

@@ -1,0 +1,106 @@
+// Shared-address-space layout: views and raw allocations.
+//
+// A ViewMap is built once (before a run) and shared read-only by all nodes,
+// mirroring how a VOPP program's views are fixed for the whole program.
+// Views are page-aligned and never overlap (a VOPP requirement the library
+// enforces); raw allocations (for traditional DSM programs) pack with
+// natural alignment so distinct data structures can share pages — which is
+// exactly what produces the false-sharing the paper's traditional programs
+// suffer from.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "dsm/types.hpp"
+#include "mem/page.hpp"
+#include "support/check.hpp"
+
+namespace vodsm::dsm {
+
+class ViewMap {
+ public:
+  struct ViewDef {
+    size_t offset = 0;  // byte offset in the shared space (page aligned)
+    size_t bytes = 0;   // requested size
+    mem::PageId first_page = 0;
+    uint32_t page_count = 0;
+    // Manager/home node. By default views are distributed round-robin
+    // (id mod nprocs); a program with a known consumer can pin the home
+    // there so VC_sd's release-time diff pushes land where they are read.
+    std::optional<NodeId> home;
+  };
+
+  // Define a new view of `bytes` bytes. Returns its id (dense, 0-based).
+  ViewId defineView(size_t bytes, std::optional<NodeId> home = std::nullopt) {
+    VODSM_CHECK_MSG(bytes > 0, "empty view");
+    alignTo(mem::kPageSize);
+    ViewDef d;
+    d.offset = top_;
+    d.bytes = bytes;
+    d.first_page = mem::pageOf(top_);
+    size_t span = (bytes + mem::kPageSize - 1) / mem::kPageSize;
+    d.page_count = static_cast<uint32_t>(span);
+    d.home = home;
+    top_ += span * mem::kPageSize;
+    views_.push_back(d);
+    return static_cast<ViewId>(views_.size() - 1);
+  }
+
+  // The manager (home) node of view `v` on an `nprocs`-node cluster.
+  NodeId managerOf(ViewId v, int nprocs) const {
+    const ViewDef& d = view(v);
+    if (d.home)
+      return *d.home % static_cast<uint32_t>(nprocs);
+    return v % static_cast<uint32_t>(nprocs);
+  }
+
+  // Raw shared allocation for traditional (non-VOPP) programs. Natural
+  // alignment only, so consecutive allocations share pages.
+  size_t allocRaw(size_t bytes, size_t align = 8) {
+    VODSM_CHECK(bytes > 0 && align > 0 && (align & (align - 1)) == 0);
+    alignTo(align);
+    size_t off = top_;
+    top_ += bytes;
+    return off;
+  }
+
+  size_t viewCount() const { return views_.size(); }
+  const ViewDef& view(ViewId v) const {
+    VODSM_CHECK_MSG(v < views_.size(), "unknown view " << v);
+    return views_[v];
+  }
+
+  // The view containing page `p`, if any. Views are defined in address
+  // order, so binary search applies.
+  std::optional<ViewId> viewOfPage(mem::PageId p) const {
+    auto it = std::upper_bound(views_.begin(), views_.end(), p,
+                               [](mem::PageId page, const ViewDef& d) {
+                                 return page < d.first_page;
+                               });
+    if (it == views_.begin()) return std::nullopt;
+    --it;
+    if (p < it->first_page + it->page_count)
+      return static_cast<ViewId>(it - views_.begin());
+    return std::nullopt;
+  }
+
+  bool viewContainsRange(ViewId v, size_t offset, size_t len) const {
+    const ViewDef& d = view(v);
+    return offset >= d.offset && offset + len <= d.offset + d.bytes;
+  }
+
+  // Total shared space implied by the allocations (page-rounded).
+  size_t heapBytes() const {
+    return (top_ + mem::kPageSize - 1) / mem::kPageSize * mem::kPageSize;
+  }
+
+ private:
+  void alignTo(size_t align) { top_ = (top_ + align - 1) / align * align; }
+
+  std::vector<ViewDef> views_;
+  size_t top_ = 0;
+};
+
+}  // namespace vodsm::dsm

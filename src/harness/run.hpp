@@ -1,0 +1,37 @@
+// Experiment harness: shared configuration and result records used by the
+// application runners, the test suite, and the table benchmarks.
+#pragma once
+
+#include <string>
+
+#include "dsm/types.hpp"
+#include "net/stats.hpp"
+#include "net/types.hpp"
+
+namespace vodsm::harness {
+
+struct RunConfig {
+  dsm::Protocol protocol = dsm::Protocol::kVcSd;
+  int nprocs = 16;
+  net::NetConfig net;
+  dsm::DsmCosts costs;
+  uint64_t seed = 42;
+};
+
+// Everything the paper's statistics tables report about one run.
+struct RunResult {
+  double seconds = 0;
+  dsm::DsmStats dsm;
+  net::NetStats net;
+
+  double dataMBytes() const {
+    return static_cast<double>(net.payload_bytes) / 1e6;
+  }
+  double dataGBytes() const {
+    return static_cast<double>(net.payload_bytes) / 1e9;
+  }
+  // Barrier *episodes* (program-level barrier count, as the paper reports).
+  uint64_t barrierEpisodes() const { return dsm.barriers; }
+};
+
+}  // namespace vodsm::harness

@@ -1,0 +1,110 @@
+#include "mem/diff.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace vodsm::mem {
+
+namespace {
+constexpr size_t kWord = 4;
+}
+
+Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin) {
+  VODSM_CHECK(current.size() == kPageSize && twin.size() == kPageSize);
+  Diff d(page);
+  size_t i = 0;
+  while (i < kPageSize) {
+    if (std::memcmp(current.data() + i, twin.data() + i, kWord) == 0) {
+      i += kWord;
+      continue;
+    }
+    size_t start = i;
+    while (i < kPageSize &&
+           std::memcmp(current.data() + i, twin.data() + i, kWord) != 0)
+      i += kWord;
+    d.runs_.push_back(Run{static_cast<uint16_t>(start),
+                          static_cast<uint16_t>(i - start)});
+    d.data_.insert(d.data_.end(), current.begin() + start, current.begin() + i);
+  }
+  return d;
+}
+
+void Diff::apply(MutByteSpan page_bytes) const {
+  VODSM_CHECK(page_bytes.size() == kPageSize);
+  size_t pos = 0;
+  for (const Run& r : runs_) {
+    VODSM_DCHECK(static_cast<size_t>(r.offset) + r.length <= kPageSize);
+    std::memcpy(page_bytes.data() + r.offset, data_.data() + pos, r.length);
+    pos += r.length;
+  }
+  VODSM_DCHECK(pos == data_.size());
+}
+
+Diff Diff::integrate(const Diff& older, const Diff& newer) {
+  VODSM_CHECK(older.page_ == newer.page_);
+  // Materialize onto a page-sized scratch overlay: correctness over cleverness
+  // (a page is only 4 KB, so this is cheap and obviously right).
+  std::array<std::byte, kPageSize> bytes{};
+  std::array<bool, kPageSize> covered{};
+  auto overlay = [&](const Diff& d) {
+    size_t pos = 0;
+    for (const Run& r : d.runs_) {
+      std::memcpy(bytes.data() + r.offset, d.data_.data() + pos, r.length);
+      std::fill(covered.begin() + r.offset,
+                covered.begin() + r.offset + r.length, true);
+      pos += r.length;
+    }
+  };
+  overlay(older);
+  overlay(newer);
+
+  Diff out(older.page_);
+  size_t i = 0;
+  while (i < kPageSize) {
+    if (!covered[i]) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < kPageSize && covered[i]) ++i;
+    out.runs_.push_back(Run{static_cast<uint16_t>(start),
+                            static_cast<uint16_t>(i - start)});
+    out.data_.insert(out.data_.end(), bytes.begin() + start, bytes.begin() + i);
+  }
+  return out;
+}
+
+void Diff::serialize(Writer& w) const {
+  w.u32(page_);
+  w.u32(static_cast<uint32_t>(runs_.size()));
+  for (const Run& r : runs_) {
+    w.u16(r.offset);
+    w.u16(r.length);
+  }
+  w.blob(data_);
+}
+
+Diff Diff::deserialize(Reader& r) {
+  Diff d(r.u32());
+  const uint32_t n = r.u32();
+  d.runs_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint16_t off = r.u16();
+    uint16_t len = r.u16();
+    d.runs_.push_back(Run{off, len});
+  }
+  ByteSpan data = r.blob();
+  d.data_.assign(data.begin(), data.end());
+  size_t total = 0;
+  for (const Run& run : d.runs_) total += run.length;
+  VODSM_CHECK_MSG(total == d.data_.size(), "corrupt diff encoding");
+  return d;
+}
+
+void Diff::addRun(uint16_t offset, ByteSpan bytes) {
+  VODSM_CHECK(static_cast<size_t>(offset) + bytes.size() <= kPageSize);
+  runs_.push_back(Run{offset, static_cast<uint16_t>(bytes.size())});
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace vodsm::mem

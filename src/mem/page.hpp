@@ -1,0 +1,25 @@
+// Page-granularity constants and access states.
+//
+// Matches the paper's platform: 4 KB virtual memory pages. Access mirrors
+// mprotect protection: None faults on any access, Read faults on write
+// (creating a twin), Write is fully mapped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vodsm::mem {
+
+constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+
+enum class Access : uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+
+constexpr PageId pageOf(size_t byte_offset) {
+  return static_cast<PageId>(byte_offset / kPageSize);
+}
+
+constexpr size_t pageStart(PageId p) { return static_cast<size_t>(p) * kPageSize; }
+
+}  // namespace vodsm::mem

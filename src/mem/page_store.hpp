@@ -1,0 +1,88 @@
+// Per-node copy of the shared address space with software page protection.
+//
+// Each simulated node owns a full private copy of the DSM address space plus
+// per-page protection state and optional twins. The protocol layers drive
+// the same transitions a SIGSEGV-based implementation would:
+//
+//   invalid  --read fault-->  read-mapped   (contents fetched/updated first)
+//   read     --write fault--> write-mapped  (twin snapshotted for diffing)
+//   release/barrier:           diff against twin, downgrade to read
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/diff.hpp"
+#include "mem/page.hpp"
+#include "support/check.hpp"
+
+namespace vodsm::mem {
+
+class PageStore {
+ public:
+  explicit PageStore(size_t bytes)
+      : mem_((bytes + kPageSize - 1) / kPageSize * kPageSize,
+             std::byte{0}),
+        pages_(mem_.size() / kPageSize) {}
+
+  size_t sizeBytes() const { return mem_.size(); }
+  size_t pageCount() const { return pages_.size(); }
+
+  MutByteSpan page(PageId p) {
+    VODSM_DCHECK(p < pageCount());
+    return MutByteSpan(mem_.data() + pageStart(p), kPageSize);
+  }
+  ByteSpan pageView(PageId p) const {
+    VODSM_DCHECK(p < pageCount());
+    return ByteSpan(mem_.data() + pageStart(p), kPageSize);
+  }
+
+  // Arbitrary byte range access (application data path).
+  MutByteSpan range(size_t offset, size_t len) {
+    VODSM_CHECK(offset + len <= mem_.size());
+    return MutByteSpan(mem_.data() + offset, len);
+  }
+  ByteSpan rangeView(size_t offset, size_t len) const {
+    VODSM_CHECK(offset + len <= mem_.size());
+    return ByteSpan(mem_.data() + offset, len);
+  }
+
+  Access access(PageId p) const { return pages_[p].access; }
+  void setAccess(PageId p, Access a) { pages_[p].access = a; }
+
+  bool hasTwin(PageId p) const { return pages_[p].twin != nullptr; }
+
+  // Snapshot the current page contents as the twin (write-fault action).
+  void makeTwin(PageId p) {
+    VODSM_DCHECK(!hasTwin(p));
+    auto twin = std::make_unique<Bytes>(kPageSize);
+    ByteSpan cur = pageView(p);
+    std::copy(cur.begin(), cur.end(), twin->begin());
+    pages_[p].twin = std::move(twin);
+  }
+
+  ByteSpan twin(PageId p) const {
+    VODSM_DCHECK(hasTwin(p));
+    return *pages_[p].twin;
+  }
+
+  void dropTwin(PageId p) { pages_[p].twin.reset(); }
+
+  // Diff current contents against the twin; the twin is kept (callers drop
+  // it once the diff has been recorded).
+  Diff diffAgainstTwin(PageId p) const {
+    VODSM_DCHECK(hasTwin(p));
+    return Diff::create(p, pageView(p), *pages_[p].twin);
+  }
+
+ private:
+  struct PageMeta {
+    Access access = Access::kNone;
+    std::unique_ptr<Bytes> twin;
+  };
+
+  Bytes mem_;
+  std::vector<PageMeta> pages_;
+};
+
+}  // namespace vodsm::mem

@@ -1,0 +1,62 @@
+// Vector timestamps for Lazy Release Consistency.
+//
+// VClock[i] counts the intervals of node i that the owner has "seen"
+// (applied write notices for). LRC's acquire protocol ships the acquirer's
+// clock to the grantor, which answers with every interval the acquirer has
+// not yet covered.
+#pragma once
+
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
+namespace vodsm::mem {
+
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(size_t n) : v_(n, 0) {}
+
+  size_t size() const { return v_.size(); }
+  uint32_t operator[](size_t i) const { return v_[i]; }
+  uint32_t& operator[](size_t i) { return v_[i]; }
+
+  // True when this clock has seen at least everything `o` has.
+  bool covers(const VClock& o) const {
+    VODSM_DCHECK(size() == o.size());
+    for (size_t i = 0; i < v_.size(); ++i)
+      if (v_[i] < o.v_[i]) return false;
+    return true;
+  }
+
+  // True when this clock has seen interval `index` of `node` (1-based count:
+  // interval k is seen when v_[node] >= k).
+  bool hasSeen(size_t node, uint32_t interval_index) const {
+    return v_[node] >= interval_index;
+  }
+
+  void merge(const VClock& o) {
+    VODSM_DCHECK(size() == o.size());
+    for (size_t i = 0; i < v_.size(); ++i) v_[i] = std::max(v_[i], o.v_[i]);
+  }
+
+  void serialize(Writer& w) const {
+    w.u32(static_cast<uint32_t>(v_.size()));
+    for (uint32_t x : v_) w.u32(x);
+  }
+  static VClock deserialize(Reader& r) {
+    VClock c;
+    const uint32_t n = r.u32();
+    c.v_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) c.v_[i] = r.u32();
+    return c;
+  }
+
+  bool operator==(const VClock& o) const { return v_ == o.v_; }
+
+ private:
+  std::vector<uint32_t> v_;
+};
+
+}  // namespace vodsm::mem

@@ -1,0 +1,125 @@
+// Switched-Ethernet model: star topology with one full-duplex link per node.
+//
+// A frame's journey: sender software overhead -> uplink serialization (FIFO
+// per sender) -> switch latency -> downlink serialization (FIFO per
+// receiver) -> NIC receive queue (tail drop when full) -> receive software
+// overhead -> delivery callback. Random loss is applied at the switch.
+//
+// All bookkeeping happens inside engine events so concurrent senders are
+// ordered by global simulated time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "net/stats.hpp"
+#include "net/types.hpp"
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
+namespace vodsm::net {
+
+class Network {
+ public:
+  // Called when a frame clears the receiver's software stack.
+  // `arrive` is the time the payload is available to the node.
+  using DeliverFn =
+      std::function<void(NodeId src, Bytes frame, sim::Time arrive)>;
+
+  Network(sim::Engine& engine, int n_nodes, NetConfig config, uint64_t seed)
+      : engine_(engine),
+        config_(config),
+        rng_(seed),
+        ports_(static_cast<size_t>(n_nodes)) {
+    VODSM_CHECK(n_nodes > 0);
+  }
+
+  int nodeCount() const { return static_cast<int>(ports_.size()); }
+  const NetConfig& config() const { return config_; }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+  void setDeliver(NodeId node, DeliverFn fn) {
+    port(node).deliver = std::move(fn);
+  }
+
+  // Inject a frame from src to dst no earlier than `earliest` (typically the
+  // sender's local clock). The caller has already decided the frame is worth
+  // counting; this layer only counts frame/wire statistics.
+  void send(NodeId src, NodeId dst, Bytes frame, sim::Time earliest) {
+    VODSM_CHECK(src < ports_.size() && dst < ports_.size());
+    VODSM_CHECK_MSG(src != dst, "loopback frames never reach the wire");
+    sim::Time start = std::max(earliest, engine_.now());
+    engine_.at(start, [this, src, dst, f = std::move(frame)]() mutable {
+      startUplink(src, dst, std::move(f));
+    });
+  }
+
+ private:
+  struct Port {
+    sim::Time uplink_busy_until = 0;
+    sim::Time downlink_busy_until = 0;
+    sim::Time rx_busy_until = 0;
+    int rx_queue_depth = 0;
+    DeliverFn deliver;
+  };
+
+  Port& port(NodeId id) { return ports_[id]; }
+
+  void startUplink(NodeId src, NodeId dst, Bytes frame) {
+    const sim::Time now = engine_.now();
+    Port& p = port(src);
+    const sim::Time tx = config_.txTime(frame.size());
+    const sim::Time depart = std::max(now + config_.sendOverhead(frame.size()),
+                                      p.uplink_busy_until);
+    p.uplink_busy_until = depart + tx;
+    stats_.frames_sent++;
+    stats_.wire_bytes += config_.wireBytes(frame.size());
+    engine_.at(depart + tx + config_.wire_latency,
+               [this, src, dst, f = std::move(frame)]() mutable {
+                 arriveSwitch(src, dst, std::move(f));
+               });
+  }
+
+  void arriveSwitch(NodeId src, NodeId dst, Bytes frame) {
+    if (config_.random_loss > 0 && rng_.chance(config_.random_loss)) {
+      stats_.frames_dropped_random++;
+      return;
+    }
+    Port& p = port(dst);
+    const sim::Time tx = config_.txTime(frame.size());
+    const sim::Time start = std::max(engine_.now(), p.downlink_busy_until);
+    p.downlink_busy_until = start + tx;
+    engine_.at(start + tx, [this, src, dst, f = std::move(frame)]() mutable {
+      arriveNic(src, dst, std::move(f));
+    });
+  }
+
+  void arriveNic(NodeId src, NodeId dst, Bytes frame) {
+    Port& p = port(dst);
+    if (p.rx_queue_depth >= config_.rx_queue_frames) {
+      stats_.frames_dropped_overflow++;
+      return;
+    }
+    p.rx_queue_depth++;
+    const sim::Time start = std::max(engine_.now(), p.rx_busy_until);
+    const sim::Time done = start + config_.recvOverhead(frame.size());
+    p.rx_busy_until = done;
+    engine_.at(done, [this, src, dst, f = std::move(frame)]() mutable {
+      Port& q = port(dst);
+      q.rx_queue_depth--;
+      stats_.frames_delivered++;
+      if (q.deliver) q.deliver(src, std::move(f), engine_.now());
+    });
+  }
+
+  sim::Engine& engine_;
+  NetConfig config_;
+  sim::Rng rng_;
+  NetStats stats_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace vodsm::net

@@ -1,0 +1,42 @@
+// Fan-out RPC helper: issue several requests at once and await all replies.
+//
+// TreadMarks-style DSMs send the diff requests for a page to every writer
+// concurrently and wait for all responses; serializing them would add one
+// round trip per writer. The requests still serialize on the sender's
+// uplink (that is physical), but the round trips overlap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/waiter.hpp"
+
+namespace vodsm::net {
+
+struct RpcCall {
+  NodeId dst = 0;
+  uint16_t type = 0;
+  Bytes payload;
+};
+
+inline sim::Task<std::vector<RpcResult>> requestAll(Endpoint& endpoint,
+                                                    std::vector<RpcCall> calls,
+                                                    sim::Time earliest) {
+  auto results = std::make_shared<std::vector<RpcResult>>(calls.size());
+  sim::Countdown done(static_cast<int>(calls.size()));
+  for (size_t i = 0; i < calls.size(); ++i) {
+    sim::spawn(
+        [](Endpoint& ep, RpcCall call, sim::Time when,
+           std::shared_ptr<std::vector<RpcResult>> out, size_t slot,
+           sim::Countdown& counter) -> sim::Task<void> {
+          (*out)[slot] = co_await ep.request(call.dst, call.type,
+                                             std::move(call.payload), when);
+          counter.arrive();
+        }(endpoint, std::move(calls[i]), earliest, results, i, done));
+  }
+  co_await done;
+  co_return *results;
+}
+
+}  // namespace vodsm::net

@@ -1,0 +1,31 @@
+// Traffic counters for the network and transport layers.
+//
+// The DSM statistics tables report "Data" and "Num. Msg" as the paper does:
+// protocol messages (acks excluded, retransmissions included) and their
+// payload bytes. The raw frame counters are kept as well for the network
+// micro-benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vodsm::net {
+
+struct NetStats {
+  // Frame-level (what actually crossed the wire).
+  uint64_t frames_sent = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t frames_dropped_overflow = 0;
+  uint64_t frames_dropped_random = 0;
+  uint64_t wire_bytes = 0;
+
+  // Transport-level (protocol view).
+  uint64_t messages = 0;       // non-ack sends, including retransmissions
+  uint64_t acks = 0;           // pure ack frames
+  uint64_t payload_bytes = 0;  // payload of non-ack sends
+  uint64_t retransmissions = 0;
+
+  void reset() { *this = NetStats{}; }
+};
+
+}  // namespace vodsm::net

@@ -1,0 +1,67 @@
+// Shared identifiers and configuration for the simulated cluster network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vodsm::net {
+
+using NodeId = uint32_t;
+
+// Models the paper's testbed: a 100 Mbps N-way switched Ethernet connecting
+// Linux PCs, with UDP-style user-level reliability. Every parameter is
+// explicit so experiments can ablate them.
+struct NetConfig {
+  // Per-link, full-duplex bandwidth in bits/second.
+  double bandwidth_bps = 100e6;
+  // One-way wire + switch cut-through latency.
+  sim::Time wire_latency = sim::usec(30);
+  // Software cost to push one datagram through the sending stack:
+  // fixed syscall/interrupt part plus a copy cost per KB.
+  sim::Time send_base = sim::usec(15);
+  sim::Time send_per_kb = sim::usec(8);
+  // Software cost to pull one datagram out of the receiving stack (same
+  // shape). This is also the NIC rx queue's service time, so fan-in bursts
+  // faster than the service rate overflow the queue and drop frames.
+  sim::Time recv_base = sim::usec(15);
+  sim::Time recv_per_kb = sim::usec(8);
+
+  sim::Time sendOverhead(size_t payload) const {
+    return send_base +
+           send_per_kb * static_cast<sim::Time>(payload / 1024 + 1);
+  }
+  sim::Time recvOverhead(size_t payload) const {
+    return recv_base +
+           recv_per_kb * static_cast<sim::Time>(payload / 1024 + 1);
+  }
+  // Ethernet + IP + UDP header bytes charged per wire fragment.
+  size_t header_bytes = 42;
+  // Maximum payload bytes per wire fragment (Ethernet MTU minus headers).
+  size_t mtu_payload = 1458;
+  // NIC receive queue capacity in frames; arrivals beyond this are dropped
+  // (tail drop), which is what turns barrier fan-in bursts into the paper's
+  // "Rexmit" retransmissions.
+  int rx_queue_frames = 256;
+  // Uniform random frame loss probability (cable-level noise).
+  double random_loss = 0.0;
+  // Retransmission timeout for the reliable transport. The paper observes
+  // that one retransmission costs about one second of waiting.
+  sim::Time rto = sim::sec(1);
+
+  // Wire bytes for a message of `payload` logical bytes (fragment headers
+  // included).
+  size_t wireBytes(size_t payload) const {
+    size_t frags = payload == 0 ? 1 : (payload + mtu_payload - 1) / mtu_payload;
+    return payload + frags * header_bytes;
+  }
+
+  // Serialization time of `payload` logical bytes onto one link.
+  sim::Time txTime(size_t payload) const {
+    double bits = static_cast<double>(wireBytes(payload)) * 8.0;
+    return static_cast<sim::Time>(bits / bandwidth_bps * sim::kSecond);
+  }
+};
+
+}  // namespace vodsm::net

@@ -1,0 +1,53 @@
+// Per-node local clock.
+//
+// A node's coroutine charges CPU work to its local clock without yielding to
+// the engine (nodes only interact through messages, so local compute needs
+// no global ordering). When a node blocks on a message, the resuming event
+// advances the clock to the arrival time via atLeast().
+#pragma once
+
+#include <coroutine>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vodsm::sim {
+
+class Clock {
+ public:
+  Time now() const { return now_; }
+
+  // Account local CPU work.
+  void charge(Time dt) {
+    VODSM_DCHECK(dt >= 0);
+    now_ += dt;
+  }
+
+  // Clamp forward to an externally observed time (message arrival etc.).
+  void atLeast(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Time now_ = 0;
+};
+
+// Awaitable that suspends the current coroutine and resumes it once the
+// engine reaches clock.now() + dt; afterwards the clock equals that time.
+// Useful for modeling pure waiting (e.g. backoff) and for yielding a node so
+// its outgoing events are globally ordered.
+inline auto sleepFor(Engine& engine, Clock& clock, Time dt) {
+  struct Awaiter {
+    Engine& engine;
+    Clock& clock;
+    Time wake;
+    bool await_ready() { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine.at(wake, [h]() mutable { h.resume(); });
+    }
+    void await_resume() { clock.atLeast(wake); }
+  };
+  return Awaiter{engine, clock, clock.now() + dt};
+}
+
+}  // namespace vodsm::sim

@@ -1,0 +1,199 @@
+// Coroutine task type for simulated node programs.
+//
+// Task<T> is a lazy coroutine with continuation chaining (symmetric
+// transfer): `co_await someTask()` starts the child and resumes the parent
+// when it finishes. Node programs are Task<void> coroutines whose only
+// suspension points are simulated-time operations (message waits, delays),
+// so program order within a node is ordinary C++ control flow.
+//
+// spawn() turns a Task<void> into a detached, self-destroying run: used by
+// the cluster to launch one root task per node. Exceptions escaping a
+// spawned task are captured and reported through the spawn callback.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace vodsm::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+// Lazy coroutine returning T. Move-only; owns the coroutine frame.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        VODSM_DCHECK(p.value.has_value());
+        return std::move(*p.value);
+      }
+    };
+    VODSM_CHECK_MSG(h_, "awaiting an empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = {};
+  }
+
+  Handle h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    VODSM_CHECK_MSG(h_, "awaiting an empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = {};
+  }
+
+  Handle h_{};
+};
+
+namespace detail {
+
+// Self-destroying driver coroutine for detached tasks. initial/final suspend
+// never suspend, so the frame is freed as soon as the driven task finishes.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+inline Detached drive(Task<void> t,
+                      std::function<void(std::exception_ptr)> done) {
+  std::exception_ptr err;
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  done(err);
+}
+
+}  // namespace detail
+
+// Start `t` detached. `done` is invoked when the task finishes, with the
+// escaped exception (if any). The task frame is owned by the driver.
+inline void spawn(Task<void> t,
+                  std::function<void(std::exception_ptr)> done =
+                      [](std::exception_ptr e) {
+                        if (e) std::rethrow_exception(e);
+                      }) {
+  detail::drive(std::move(t), std::move(done));
+}
+
+}  // namespace vodsm::sim

@@ -1,0 +1,26 @@
+// Simulated time. All timestamps in the simulator are signed 64-bit
+// nanosecond counts from the start of the run; helpers below build readable
+// durations. int64 nanoseconds gives ~292 years of range, far beyond any run.
+#pragma once
+
+#include <cstdint>
+
+namespace vodsm::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr Time msec(std::int64_t n) { return n * kMillisecond; }
+constexpr Time sec(std::int64_t n) { return n * kSecond; }
+
+constexpr double toSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double toMicros(Time t) {
+  return static_cast<double>(t) / kMicrosecond;
+}
+
+}  // namespace vodsm::sim

@@ -1,0 +1,117 @@
+// One-shot value channel between engine event handlers and coroutines.
+//
+// A coroutine co_awaits a Waiter<T>; some later engine event calls
+// fulfill(v), which resumes the coroutine inline with the value. Exactly one
+// awaiter and exactly one fulfill per Waiter. fulfill-before-await is
+// supported (the value is stored and picked up without suspending).
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace vodsm::sim {
+
+template <typename T>
+class Waiter {
+ public:
+  Waiter() = default;
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+
+  bool ready() const { return value_.has_value(); }
+  bool hasWaiter() const { return static_cast<bool>(waiter_); }
+
+  void fulfill(T v) {
+    VODSM_CHECK_MSG(!value_.has_value(), "Waiter fulfilled twice");
+    value_.emplace(std::move(v));
+    if (waiter_) std::exchange(waiter_, {}).resume();
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      Waiter& w;
+      bool await_ready() { return w.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        VODSM_CHECK_MSG(!w.waiter_, "Waiter awaited twice");
+        w.waiter_ = h;
+      }
+      T await_resume() {
+        VODSM_DCHECK(w.value_.has_value());
+        return std::move(*w.value_);
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_;
+};
+
+template <>
+class Waiter<void> {
+ public:
+  Waiter() = default;
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+
+  bool ready() const { return done_; }
+  bool hasWaiter() const { return static_cast<bool>(waiter_); }
+
+  void fulfill() {
+    VODSM_CHECK_MSG(!done_, "Waiter fulfilled twice");
+    done_ = true;
+    if (waiter_) std::exchange(waiter_, {}).resume();
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      Waiter& w;
+      bool await_ready() { return w.done_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        VODSM_CHECK_MSG(!w.waiter_, "Waiter awaited twice");
+        w.waiter_ = h;
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  bool done_ = false;
+  std::coroutine_handle<> waiter_;
+};
+
+// Counts down from n; co_await completes when the count reaches zero.
+// Used for join-style synchronization (e.g. wait for all replies).
+class Countdown {
+ public:
+  explicit Countdown(int n) : remaining_(n) {}
+
+  void arrive() {
+    VODSM_CHECK_MSG(remaining_ > 0, "Countdown over-arrived");
+    if (--remaining_ == 0 && waiter_) std::exchange(waiter_, {}).resume();
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      Countdown& c;
+      bool await_ready() { return c.remaining_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        VODSM_CHECK_MSG(!c.waiter_, "Countdown awaited twice");
+        c.waiter_ = h;
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  int remaining_;
+  std::coroutine_handle<> waiter_;
+};
+
+}  // namespace vodsm::sim

@@ -1,0 +1,55 @@
+// Lightweight runtime checking used across the library.
+//
+// VODSM_CHECK   — invariant that must hold regardless of build type; throws
+//                 vodsm::Error so API misuse is testable.
+// VODSM_DCHECK  — debug-only assertion for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vodsm {
+
+// Exception thrown on violated API contracts (e.g. nested acquire_view).
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void failCheck(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace vodsm
+
+#define VODSM_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::vodsm::detail::failCheck(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define VODSM_CHECK_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream vodsm_os_;                                   \
+      vodsm_os_ << msg;                                               \
+      ::vodsm::detail::failCheck(#expr, __FILE__, __LINE__,           \
+                                 vodsm_os_.str());                    \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define VODSM_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define VODSM_DCHECK(expr) VODSM_CHECK(expr)
+#endif

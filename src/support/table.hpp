@@ -1,0 +1,102 @@
+// Fixed-width text table printer used by the benchmark harness to render
+// paper-style statistics and speedup tables.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vodsm {
+
+// Column-aligned table; first column is left-aligned row labels, the rest are
+// right-aligned values.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience for numeric rows: label + already formatted values.
+  template <typename... Ts>
+  void rowv(const std::string& label, Ts&&... vals) {
+    std::vector<std::string> cells{label};
+    (cells.push_back(format(std::forward<Ts>(vals))), ...);
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<size_t> widths = columnWidths();
+    if (!header_.empty()) {
+      printRow(os, header_, widths);
+      printRule(os, widths);
+    }
+    for (const auto& r : rows_) printRow(os, r, widths);
+  }
+
+  static std::string format(const std::string& s) { return s; }
+  static std::string format(const char* s) { return s; }
+  static std::string format(double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  }
+  template <typename T>
+  static std::string format(T v)
+    requires std::is_integral_v<T>
+  {
+    return withThousands(static_cast<long long>(v));
+  }
+
+  // 1234567 -> "1,234,567", matching the paper's table style.
+  static std::string withThousands(long long v) {
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+      if (count != 0 && count % 3 == 0) out.push_back(',');
+      out.push_back(*it);
+      ++count;
+    }
+    if (v < 0) out.push_back('-');
+    return {out.rbegin(), out.rend()};
+  }
+
+ private:
+  std::vector<size_t> columnWidths() const {
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string>& r) {
+      if (widths.size() < r.size()) widths.resize(r.size());
+      for (size_t i = 0; i < r.size(); ++i)
+        widths[i] = std::max(widths[i], r[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+    return widths;
+  }
+
+  static void printRow(std::ostream& os, const std::vector<std::string>& r,
+                       const std::vector<size_t>& widths) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i == 0)
+        os << std::left << std::setw(static_cast<int>(widths[i])) << r[i];
+      else
+        os << "  " << std::right << std::setw(static_cast<int>(widths[i]))
+           << r[i];
+    }
+    os << '\n';
+  }
+
+  static void printRule(std::ostream& os, const std::vector<size_t>& widths) {
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vodsm

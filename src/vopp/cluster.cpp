@@ -1,0 +1,78 @@
+#include "vopp/cluster.hpp"
+
+#include <algorithm>
+
+namespace vodsm::vopp {
+
+std::unique_ptr<dsm::Runtime> Cluster::makeRuntime(dsm::NodeCtx& ctx) const {
+  switch (opts_.protocol) {
+    case dsm::Protocol::kLrcDiff:
+      return std::make_unique<dsm::LrcRuntime>(ctx);
+    case dsm::Protocol::kVcDiff:
+      return std::make_unique<dsm::VcRuntime>(ctx, /*integrated=*/false);
+    case dsm::Protocol::kVcSd:
+      return std::make_unique<dsm::VcRuntime>(ctx, /*integrated=*/true);
+  }
+  VODSM_CHECK_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+void Cluster::run(const Program& program) {
+  VODSM_CHECK_MSG(!started_, "Cluster::run called twice");
+  started_ = true;
+  VODSM_CHECK_MSG(views_.heapBytes() > 0,
+                  "no shared memory defined before run");
+
+  network_ = std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
+                                            opts_.seed);
+  ctxs_.reserve(static_cast<size_t>(opts_.nprocs));
+  runtimes_.reserve(static_cast<size_t>(opts_.nprocs));
+  nodes_.reserve(static_cast<size_t>(opts_.nprocs));
+  for (int i = 0; i < opts_.nprocs; ++i) {
+    ctxs_.push_back(std::make_unique<dsm::NodeCtx>(
+        static_cast<dsm::NodeId>(i), opts_.nprocs, engine_, *network_, views_,
+        opts_.costs));
+    runtimes_.push_back(makeRuntime(*ctxs_.back()));
+    nodes_.push_back(
+        std::make_unique<Node>(*this, *ctxs_.back(), *runtimes_.back()));
+  }
+
+  std::vector<bool> finished(static_cast<size_t>(opts_.nprocs), false);
+  std::exception_ptr first_error;
+  for (int i = 0; i < opts_.nprocs; ++i) {
+    Node& node = *nodes_[static_cast<size_t>(i)];
+    sim::spawn(program(node),
+               [this, i, &finished, &first_error](std::exception_ptr e) {
+                 finished[static_cast<size_t>(i)] = true;
+                 if (e && !first_error) first_error = e;
+                 finish_time_ = std::max(
+                     finish_time_, ctxs_[static_cast<size_t>(i)]->clock.now());
+               });
+  }
+  engine_.run();
+
+  if (first_error) std::rethrow_exception(first_error);
+  for (int i = 0; i < opts_.nprocs; ++i) {
+    VODSM_CHECK_MSG(finished[static_cast<size_t>(i)],
+                    "deadlock: node " << i
+                                      << " never finished (engine drained)");
+  }
+}
+
+dsm::DsmStats Cluster::dsmStats() const {
+  dsm::DsmStats total;
+  for (const auto& ctx : ctxs_) total.add(ctx->stats);
+  return total;
+}
+
+sim::Task<void> Node::mergeViews() {
+  for (dsm::ViewId v = 0;
+       v < static_cast<dsm::ViewId>(cluster_.views().viewCount()); ++v) {
+    const auto& def = cluster_.views().view(v);
+    co_await acquireRview(v);
+    co_await touchRead(def.offset, def.bytes);
+    co_await releaseRview(v);
+  }
+}
+
+}  // namespace vodsm::vopp

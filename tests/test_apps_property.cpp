@@ -1,0 +1,193 @@
+// Property sweeps over the applications: odd, non-divisible problem sizes
+// and processor counts, plus run-level determinism. Every case validates
+// against the serial reference, so each is a full end-to-end correctness
+// check of protocol + app under awkward partitioning.
+#include <gtest/gtest.h>
+
+#include "apps/gauss.hpp"
+#include "apps/is.hpp"
+#include "apps/nn.hpp"
+#include "apps/sor.hpp"
+
+namespace vodsm {
+namespace {
+
+using dsm::Protocol;
+
+harness::RunConfig cfg(Protocol proto, int nprocs, uint64_t seed = 42) {
+  harness::RunConfig c;
+  c.protocol = proto;
+  c.nprocs = nprocs;
+  c.seed = seed;
+  return c;
+}
+
+struct Shape {
+  Protocol proto;
+  int nprocs;
+  size_t size;  // app-specific primary dimension
+};
+
+std::string shapeName(const ::testing::TestParamInfo<Shape>& info) {
+  return dsm::protocolName(info.param.proto) + "_" +
+         std::to_string(info.param.nprocs) + "p_" +
+         std::to_string(info.param.size);
+}
+
+// Deliberately awkward: prime processor counts, sizes that do not divide.
+const Shape kShapes[] = {
+    {Protocol::kVcDiff, 3, 130},  {Protocol::kVcDiff, 7, 101},
+    {Protocol::kVcSd, 3, 130},    {Protocol::kVcSd, 7, 101},
+    {Protocol::kVcSd, 5, 64},     {Protocol::kLrcDiff, 3, 96},
+    {Protocol::kVcSd, 13, 52},    {Protocol::kVcDiff, 13, 52},
+};
+
+class OddShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(OddShapes, Is) {
+  const auto& s = GetParam();
+  apps::IsParams p;
+  p.n_keys = s.size * 37 + 11;  // not a multiple of anything
+  p.max_key = 257;              // odd bucket count
+  p.iterations = 2;
+  auto run =
+      apps::runIs(cfg(s.proto, s.nprocs), p, apps::IsVariant::kVopp);
+  EXPECT_EQ(run.rank_sums, apps::isSerialRankSums(p, s.nprocs));
+}
+
+TEST_P(OddShapes, Gauss) {
+  const auto& s = GetParam();
+  apps::GaussParams p;
+  p.n = s.size;
+  auto run =
+      apps::runGauss(cfg(s.proto, s.nprocs), p, apps::GaussVariant::kVopp);
+  EXPECT_DOUBLE_EQ(run.checksum, apps::gaussSerialChecksum(p));
+}
+
+TEST_P(OddShapes, Sor) {
+  const auto& s = GetParam();
+  apps::SorParams p;
+  p.rows = std::max<size_t>(s.size, static_cast<size_t>(s.nprocs) * 2);
+  p.cols = 53;  // rows not page aligned
+  p.iterations = 3;
+  auto run = apps::runSor(cfg(s.proto, s.nprocs), p, apps::SorVariant::kVopp);
+  EXPECT_DOUBLE_EQ(run.checksum, apps::sorSerialChecksum(p));
+}
+
+TEST_P(OddShapes, Nn) {
+  const auto& s = GetParam();
+  apps::NnParams p;
+  p.samples = s.size;
+  p.epochs = 2;
+  p.hidden = 17;
+  auto run = apps::runNn(cfg(s.proto, s.nprocs), p, apps::NnVariant::kVopp);
+  EXPECT_DOUBLE_EQ(run.checksum, apps::nnSerialChecksum(p, s.nprocs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OddShapes, ::testing::ValuesIn(kShapes),
+                         shapeName);
+
+// Determinism: identical configuration => identical simulated time and
+// traffic statistics, for every app and protocol.
+class AppDeterminism : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AppDeterminism, IsRunsAreBitIdentical) {
+  apps::IsParams p;
+  p.n_keys = 4096;
+  p.max_key = 255;
+  p.iterations = 2;
+  auto a = apps::runIs(cfg(GetParam(), 4, 7), p, apps::IsVariant::kVopp);
+  auto b = apps::runIs(cfg(GetParam(), 4, 7), p, apps::IsVariant::kVopp);
+  EXPECT_EQ(a.result.seconds, b.result.seconds);
+  EXPECT_EQ(a.result.net.messages, b.result.net.messages);
+  EXPECT_EQ(a.result.net.payload_bytes, b.result.net.payload_bytes);
+  EXPECT_EQ(a.result.dsm.acquires, b.result.dsm.acquires);
+  EXPECT_EQ(a.rank_sums, b.rank_sums);
+}
+
+TEST_P(AppDeterminism, SorRunsAreBitIdentical) {
+  apps::SorParams p;
+  p.rows = 48;
+  p.cols = 48;
+  p.iterations = 3;
+  auto a = apps::runSor(cfg(GetParam(), 4, 9), p, apps::SorVariant::kVopp);
+  auto b = apps::runSor(cfg(GetParam(), 4, 9), p, apps::SorVariant::kVopp);
+  EXPECT_EQ(a.result.seconds, b.result.seconds);
+  EXPECT_EQ(a.result.net.messages, b.result.net.messages);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AppDeterminism,
+                         ::testing::Values(Protocol::kLrcDiff,
+                                           Protocol::kVcDiff,
+                                           Protocol::kVcSd),
+                         [](const auto& info) {
+                           return dsm::protocolName(info.param);
+                         });
+
+// Structural invariants the paper's tables rely on.
+TEST(AppInvariants, VcSdZeroDiffRequestsOnAllApps) {
+  {
+    apps::IsParams p;
+    p.n_keys = 4096;
+    p.max_key = 255;
+    p.iterations = 2;
+    auto r = apps::runIs(cfg(Protocol::kVcSd, 4), p, apps::IsVariant::kVopp);
+    EXPECT_EQ(r.result.dsm.diff_requests, 0u);
+  }
+  {
+    apps::GaussParams p;
+    p.n = 64;
+    auto r =
+        apps::runGauss(cfg(Protocol::kVcSd, 4), p, apps::GaussVariant::kVopp);
+    EXPECT_EQ(r.result.dsm.diff_requests, 0u);
+  }
+  {
+    apps::SorParams p;
+    p.rows = 48;
+    p.cols = 48;
+    p.iterations = 2;
+    auto r = apps::runSor(cfg(Protocol::kVcSd, 4), p, apps::SorVariant::kVopp);
+    EXPECT_EQ(r.result.dsm.diff_requests, 0u);
+  }
+  {
+    apps::NnParams p;
+    p.samples = 64;
+    p.epochs = 2;
+    auto r = apps::runNn(cfg(Protocol::kVcSd, 4), p, apps::NnVariant::kVopp);
+    EXPECT_EQ(r.result.dsm.diff_requests, 0u);
+  }
+}
+
+TEST(AppInvariants, FewerBarriersReallyRemovesEpisodes) {
+  apps::IsParams p;
+  p.n_keys = 4096;
+  p.max_key = 255;
+  p.iterations = 5;
+  auto with = apps::runIs(cfg(Protocol::kVcSd, 4), p, apps::IsVariant::kVopp);
+  auto without = apps::runIs(cfg(Protocol::kVcSd, 4), p,
+                             apps::IsVariant::kVoppFewerBarriers);
+  EXPECT_EQ(with.result.barrierEpisodes(),
+            without.result.barrierEpisodes() + 5);
+  EXPECT_EQ(with.rank_sums, without.rank_sums);
+  EXPECT_LE(without.result.seconds, with.result.seconds);
+}
+
+TEST(AppInvariants, TraditionalVariantsNeverAcquire) {
+  apps::IsParams p;
+  p.n_keys = 4096;
+  p.max_key = 255;
+  p.iterations = 2;
+  auto r =
+      apps::runIs(cfg(Protocol::kLrcDiff, 4), p, apps::IsVariant::kTraditional);
+  EXPECT_EQ(r.result.dsm.acquires, 0u);  // paper Table 1's Acquires row
+  apps::NnParams np;
+  np.samples = 64;
+  np.epochs = 2;
+  auto rn = apps::runNn(cfg(Protocol::kLrcDiff, 4), np,
+                        apps::NnVariant::kTraditional);
+  EXPECT_EQ(rn.result.dsm.acquires, 0u);
+}
+
+}  // namespace
+}  // namespace vodsm

@@ -1,0 +1,83 @@
+// Tests for the harness records and the table formatter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/run.hpp"
+#include "support/table.hpp"
+
+namespace vodsm {
+namespace {
+
+TEST(TextTable, ThousandsSeparators) {
+  EXPECT_EQ(TextTable::withThousands(0), "0");
+  EXPECT_EQ(TextTable::withThousands(999), "999");
+  EXPECT_EQ(TextTable::withThousands(1000), "1,000");
+  EXPECT_EQ(TextTable::withThousands(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::withThousands(-1234), "-1,234");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"", "a", "bb"});
+  t.row({"label", "1", "22"});
+  t.row({"x", "333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  // Every line has the same length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  size_t len = 0;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    if (line.find('-') == 0) continue;  // rule line
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+    lines++;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(TextTable, FormatsDoublesWithTwoDecimals) {
+  EXPECT_EQ(TextTable::format(3.14159), "3.14");
+  EXPECT_EQ(TextTable::format(0.0), "0.00");
+}
+
+TEST(RunResult, DerivedQuantities) {
+  harness::RunResult r;
+  r.net.payload_bytes = 2'500'000;
+  r.dsm.barriers = 7;
+  r.dsm.barrier_wait_total = sim::usec(700);
+  r.dsm.barrier_waits = 7;
+  r.dsm.acquire_wait_total = sim::usec(90);
+  r.dsm.acquire_waits = 9;
+  EXPECT_DOUBLE_EQ(r.dataMBytes(), 2.5);
+  EXPECT_DOUBLE_EQ(r.dataGBytes(), 0.0025);
+  EXPECT_EQ(r.barrierEpisodes(), 7u);
+  EXPECT_DOUBLE_EQ(r.dsm.avgBarrierMicros(), 100.0);
+  EXPECT_DOUBLE_EQ(r.dsm.avgAcquireMicros(), 10.0);
+}
+
+TEST(DsmStats, AddAccumulates) {
+  dsm::DsmStats a, b;
+  a.acquires = 3;
+  a.barrier_wait_total = 100;
+  a.barrier_waits = 2;
+  b.acquires = 4;
+  b.barrier_wait_total = 50;
+  b.barrier_waits = 1;
+  a.add(b);
+  EXPECT_EQ(a.acquires, 7u);
+  EXPECT_EQ(a.barrier_wait_total, 150);
+  EXPECT_EQ(a.barrier_waits, 3u);
+}
+
+TEST(DsmStats, AveragesHandleZeroCounts) {
+  dsm::DsmStats s;
+  EXPECT_DOUBLE_EQ(s.avgBarrierMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avgAcquireMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace vodsm

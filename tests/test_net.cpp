@@ -1,0 +1,218 @@
+// Unit tests for the network model and the reliable transport.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/parallel.hpp"
+#include "net/transport.hpp"
+#include "sim/task.hpp"
+
+namespace vodsm::net {
+namespace {
+
+TEST(NetConfig, WireMath) {
+  NetConfig c;
+  EXPECT_EQ(c.wireBytes(0), c.header_bytes);
+  EXPECT_EQ(c.wireBytes(100), 100 + c.header_bytes);
+  // Two fragments once past the MTU payload.
+  EXPECT_EQ(c.wireBytes(c.mtu_payload + 1),
+            c.mtu_payload + 1 + 2 * c.header_bytes);
+  // 100 Mbps: 1250 bytes take 100 microseconds.
+  NetConfig fast = c;
+  fast.header_bytes = 0;
+  EXPECT_NEAR(static_cast<double>(fast.txTime(1250)),
+              static_cast<double>(sim::usec(100)), 1000.0);
+}
+
+TEST(Network, DeliversWithLatencyAndBandwidth) {
+  sim::Engine e;
+  NetConfig cfg;
+  Network net(e, 2, cfg, 1);
+  sim::Time delivered_at = -1;
+  net.setDeliver(1, [&](NodeId src, Bytes frame, sim::Time t) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(frame.size(), 1000u);
+    delivered_at = t;
+  });
+  net.send(0, 1, Bytes(1000), 0);
+  e.run();
+  // send overhead + uplink tx + latency + downlink tx + recv service.
+  sim::Time expect = cfg.sendOverhead(1000) + 2 * cfg.txTime(1000) +
+                     cfg.wire_latency + cfg.recvOverhead(1000);
+  EXPECT_EQ(delivered_at, expect);
+  EXPECT_EQ(net.stats().frames_delivered, 1u);
+}
+
+TEST(Network, UplinkSerializesBackToBackSends) {
+  sim::Engine e;
+  NetConfig cfg;
+  Network net(e, 3, cfg, 1);
+  std::vector<sim::Time> arrivals;
+  net.setDeliver(1, [&](NodeId, Bytes, sim::Time t) { arrivals.push_back(t); });
+  net.setDeliver(2, [&](NodeId, Bytes, sim::Time t) { arrivals.push_back(t); });
+  net.send(0, 1, Bytes(10000), 0);
+  net.send(0, 2, Bytes(10000), 0);
+  e.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // The second frame waits for the first to clear the shared uplink.
+  EXPECT_GE(arrivals[1] - arrivals[0], cfg.txTime(10000));
+}
+
+TEST(Network, RxQueueOverflowDrops) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.rx_queue_frames = 2;
+  cfg.recv_base = sim::msec(10);  // absurdly slow receiver
+  Network net(e, 5, cfg, 1);
+  int delivered = 0;
+  net.setDeliver(0, [&](NodeId, Bytes, sim::Time) { delivered++; });
+  for (NodeId src = 1; src < 5; ++src) net.send(src, 0, Bytes(10), 0);
+  e.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().frames_dropped_overflow, 2u);
+}
+
+TEST(Network, RandomLossDropsProportionally) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.random_loss = 0.5;
+  Network net(e, 2, cfg, 99);
+  int delivered = 0;
+  net.setDeliver(1, [&](NodeId, Bytes, sim::Time) { delivered++; });
+  for (int i = 0; i < 200; ++i)
+    net.send(0, 1, Bytes(10), sim::msec(i));
+  e.run();
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  EXPECT_EQ(net.stats().frames_dropped_random + net.stats().frames_delivered,
+            200u);
+}
+
+TEST(SeqTracker, DetectsDuplicatesAcrossGaps) {
+  SeqTracker t;
+  EXPECT_TRUE(t.markSeen(0));
+  EXPECT_TRUE(t.markSeen(2));
+  EXPECT_FALSE(t.markSeen(0));
+  EXPECT_FALSE(t.markSeen(2));
+  EXPECT_TRUE(t.markSeen(1));
+  EXPECT_FALSE(t.markSeen(1));
+  EXPECT_TRUE(t.markSeen(3));
+}
+
+struct Pair {
+  sim::Engine engine;
+  NetConfig cfg;
+  Network net;
+  Endpoint a, b;
+  explicit Pair(NetConfig c = NetConfig{}, uint64_t seed = 1)
+      : cfg(c), net(engine, 2, cfg, seed), a(engine, net, 0),
+        b(engine, net, 1) {}
+};
+
+TEST(Transport, PostDeliversExactlyOnce) {
+  Pair p;
+  int count = 0;
+  p.b.setHandler([&](Delivery&& d, const ReplyToken&) {
+    EXPECT_EQ(d.type, 9);
+    count++;
+  });
+  p.a.post(1, 9, Bytes(100), 0);
+  p.engine.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(p.net.stats().acks, 1u);
+}
+
+TEST(Transport, PostSurvivesHeavyLoss) {
+  NetConfig cfg;
+  cfg.random_loss = 0.4;
+  cfg.rto = sim::msec(50);
+  Pair p(cfg, 7);
+  int count = 0;
+  p.b.setHandler([&](Delivery&&, const ReplyToken&) { count++; });
+  for (int i = 0; i < 50; ++i) p.a.post(1, 9, Bytes(20), 0);
+  p.engine.run();
+  EXPECT_EQ(count, 50);  // exactly once despite losses and retransmissions
+  EXPECT_GT(p.net.stats().retransmissions, 0u);
+}
+
+TEST(Transport, RequestReplySurvivesLoss) {
+  NetConfig cfg;
+  cfg.random_loss = 0.3;
+  cfg.rto = sim::msec(50);
+  Pair p(cfg, 11);
+  int served = 0;
+  p.b.setHandler([&](Delivery&& d, const ReplyToken& tok) {
+    served++;
+    p.b.reply(tok, static_cast<uint16_t>(d.type + 1), Bytes(d.payload),
+              d.arrive);
+  });
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    sim::spawn([](Endpoint& ep, int& done) -> sim::Task<void> {
+      auto r = co_await ep.request(1, 5, Bytes(64), 0);
+      EXPECT_EQ(r.type, 6);
+      EXPECT_EQ(r.payload.size(), 64u);
+      done++;
+    }(p.a, completed));
+  }
+  p.engine.run();
+  EXPECT_EQ(completed, 30);
+  EXPECT_EQ(served, 30);  // reply cache answers duplicate requests
+}
+
+TEST(Transport, SelfSendStaysLocal) {
+  Pair p;
+  int count = 0;
+  p.a.setHandler([&](Delivery&& d, const ReplyToken&) {
+    EXPECT_EQ(d.src, 0u);
+    count++;
+  });
+  p.a.post(0, 3, Bytes(10), 0);
+  p.engine.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(p.net.stats().messages, 0u);  // never hit the wire
+  EXPECT_EQ(p.net.stats().frames_sent, 0u);
+}
+
+TEST(Transport, RequestAllOverlapsRoundTrips) {
+  sim::Engine e;
+  NetConfig cfg;
+  Network net(e, 4, cfg, 1);
+  Endpoint a(e, net, 0), b(e, net, 1), c(e, net, 2), d(e, net, 3);
+  auto serve = [](Endpoint& ep) {
+    ep.setHandler([&ep](Delivery&& del, const ReplyToken& tok) {
+      ep.reply(tok, 1, Bytes(2000), del.arrive + sim::usec(10));
+    });
+  };
+  serve(b);
+  serve(c);
+  serve(d);
+  sim::Time finished = 0;
+  sim::spawn([](Endpoint& ep, sim::Engine& eng,
+                sim::Time& done) -> sim::Task<void> {
+    std::vector<RpcCall> calls;
+    for (NodeId n = 1; n <= 3; ++n) calls.push_back(RpcCall{n, 0, Bytes(50)});
+    auto results = co_await requestAll(ep, std::move(calls), 0);
+    EXPECT_EQ(results.size(), 3u);
+    for (auto& r : results) EXPECT_EQ(r.payload.size(), 2000u);
+    done = eng.now();
+  }(a, e, finished));
+  e.run();
+  // Three overlapped ~600us round trips must finish well under 3x serial.
+  sim::Time one_rtt = cfg.sendOverhead(50) + 2 * cfg.txTime(50) +
+                      cfg.wire_latency + cfg.recvOverhead(50) + sim::usec(10) +
+                      cfg.sendOverhead(2000) + 2 * cfg.txTime(2000) +
+                      cfg.wire_latency + cfg.recvOverhead(2000);
+  EXPECT_LT(finished, 2 * one_rtt);
+}
+
+TEST(Transport, StatsCountPayloadBytes) {
+  Pair p;
+  p.b.setHandler([](Delivery&&, const ReplyToken&) {});
+  p.a.post(1, 9, Bytes(500), 0);
+  p.engine.run();
+  EXPECT_EQ(p.net.stats().messages, 1u);
+  EXPECT_EQ(p.net.stats().payload_bytes, 500u);
+}
+
+}  // namespace
+}  // namespace vodsm::net

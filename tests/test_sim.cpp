@@ -1,0 +1,217 @@
+// Unit tests for the sim substrate: engine, rng, tasks, waiters, clock.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/waiter.hpp"
+
+namespace vodsm::sim {
+namespace {
+
+TEST(Engine, ProcessesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(30, [&] { order.push_back(3); });
+  e.at(10, [&] { order.push_back(1); });
+  e.at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TieBrokenByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) e.at(5, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) e.after(10, chain);
+  };
+  e.at(0, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int fired = 0;
+  e.at(1, [&] {
+    fired++;
+    e.stop();
+  });
+  e.at(2, [&] { fired++; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunBoundedReportsDrainState) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.at(i, [] {});
+  EXPECT_FALSE(e.runBounded(5));
+  EXPECT_TRUE(e.runBounded(100));
+}
+
+TEST(Engine, SchedulingInPastIsRejectedInDebug) {
+#ifndef NDEBUG
+  Engine e;
+  e.at(10, [] {});
+  e.run();
+  EXPECT_THROW(e.at(5, [] {}), Error);
+#else
+  GTEST_SKIP() << "debug-only check";
+#endif
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.below(17);
+    ASSERT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(1);
+  Rng b = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next() != b.next();
+  EXPECT_TRUE(any_diff);
+}
+
+Task<int> answer() { co_return 42; }
+Task<int> addOne(Task<int> inner) { co_return co_await std::move(inner) + 1; }
+
+TEST(Task, ChainsThroughCoAwait) {
+  int result = 0;
+  spawn([](int& out) -> Task<void> { out = co_await addOne(answer()); }(result));
+  EXPECT_EQ(result, 43);
+}
+
+TEST(Task, ExceptionPropagatesToSpawnCallback) {
+  std::string message;
+  spawn(
+      []() -> Task<void> {
+        throw Error("boom");
+        co_return;
+      }(),
+      [&](std::exception_ptr e) {
+        try {
+          if (e) std::rethrow_exception(e);
+        } catch (const Error& err) {
+          message = err.what();
+        }
+      });
+  EXPECT_EQ(message, "boom");
+}
+
+TEST(Waiter, FulfillBeforeAwaitDoesNotSuspend) {
+  Waiter<int> w;
+  w.fulfill(9);
+  int got = 0;
+  spawn([](Waiter<int>& wt, int& out) -> Task<void> {
+    out = co_await wt;
+  }(w, got));
+  EXPECT_EQ(got, 9);
+}
+
+TEST(Waiter, AwaitThenFulfillResumes) {
+  Waiter<int> w;
+  int got = 0;
+  spawn([](Waiter<int>& wt, int& out) -> Task<void> {
+    out = co_await wt;
+  }(w, got));
+  EXPECT_EQ(got, 0);
+  w.fulfill(5);
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Waiter, DoubleFulfillThrows) {
+  Waiter<void> w;
+  w.fulfill();
+  EXPECT_THROW(w.fulfill(), Error);
+}
+
+TEST(Countdown, ResumesAtZero) {
+  Countdown c(3);
+  bool done = false;
+  spawn([](Countdown& cd, bool& flag) -> Task<void> {
+    co_await cd;
+    flag = true;
+  }(c, done));
+  c.arrive();
+  c.arrive();
+  EXPECT_FALSE(done);
+  c.arrive();
+  EXPECT_TRUE(done);
+}
+
+TEST(Countdown, OverArrivalThrows) {
+  Countdown c(1);
+  c.arrive();
+  EXPECT_THROW(c.arrive(), Error);
+}
+
+TEST(Clock, ChargeAndClamp) {
+  Clock c;
+  c.charge(100);
+  EXPECT_EQ(c.now(), 100);
+  c.atLeast(50);  // no going backwards
+  EXPECT_EQ(c.now(), 100);
+  c.atLeast(200);
+  EXPECT_EQ(c.now(), 200);
+}
+
+TEST(Clock, SleepForAdvancesWithEngine) {
+  Engine e;
+  Clock c;
+  c.charge(usec(5));
+  bool done = false;
+  spawn([](Engine& eng, Clock& clk, bool& flag) -> Task<void> {
+    co_await sleepFor(eng, clk, usec(10));
+    flag = true;
+  }(e, c, done));
+  EXPECT_FALSE(done);
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(c.now(), usec(15));
+  EXPECT_EQ(e.now(), usec(15));
+}
+
+}  // namespace
+}  // namespace vodsm::sim

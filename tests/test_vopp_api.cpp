@@ -1,0 +1,260 @@
+// VOPP programming-model contract tests: misuse detection, Rview
+// concurrency, determinism, merge_views, per-protocol invariants.
+#include <gtest/gtest.h>
+
+#include "vopp/cluster.hpp"
+
+namespace vodsm {
+namespace {
+
+using dsm::Protocol;
+
+vopp::ClusterOptions opts(Protocol proto, int nprocs, uint64_t seed = 42) {
+  vopp::ClusterOptions o;
+  o.protocol = proto;
+  o.nprocs = nprocs;
+  o.seed = seed;
+  return o;
+}
+
+template <typename Body>
+void expectVoppError(Protocol proto, const std::string& needle, Body body) {
+  vopp::Cluster cluster(opts(proto, 2));
+  dsm::ViewId v1 = cluster.defineView(64);
+  dsm::ViewId v2 = cluster.defineView(64);
+  try {
+    cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+      if (node.id() == 0) co_await body(node, v1, v2);
+      co_return;
+    });
+    FAIL() << "expected Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+class VcApiTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(VcApiTest, NestedAcquireViewRejected) {
+  expectVoppError(GetParam(), "nested",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId b) -> sim::Task<void> {
+                    co_await n.acquireView(a);
+                    co_await n.acquireView(b);
+                  });
+}
+
+TEST_P(VcApiTest, ReleaseWithoutAcquireRejected) {
+  expectVoppError(GetParam(), "not held",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.releaseView(a);
+                  });
+}
+
+TEST_P(VcApiTest, ReleaseRviewWithoutAcquireRejected) {
+  expectVoppError(GetParam(), "not read-held",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.releaseRview(a);
+                  });
+}
+
+TEST_P(VcApiTest, WriteWithoutViewRejected) {
+  expectVoppError(GetParam(), "without",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    size_t off = n.cluster().viewOffset(a);
+                    co_await n.touchWrite(off, 8);
+                  });
+}
+
+TEST_P(VcApiTest, WriteUnderRviewRejected) {
+  expectVoppError(GetParam(), "without write-acquiring",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.acquireRview(a);
+                    size_t off = n.cluster().viewOffset(a);
+                    co_await n.touchWrite(off, 8);
+                  });
+}
+
+TEST_P(VcApiTest, WriteToOtherViewRejected) {
+  expectVoppError(GetParam(), "without write-acquiring",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId b) -> sim::Task<void> {
+                    co_await n.acquireView(a);
+                    size_t off = n.cluster().viewOffset(b);
+                    co_await n.touchWrite(off, 8);
+                  });
+}
+
+TEST_P(VcApiTest, BarrierWhileHoldingViewRejected) {
+  expectVoppError(GetParam(), "barrier while holding",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.acquireView(a);
+                    co_await n.barrier();
+                  });
+}
+
+TEST_P(VcApiTest, RviewWhileWriteHoldingSameViewRejected) {
+  expectVoppError(GetParam(), "while write-holding",
+                  [](vopp::Node& n, dsm::ViewId a,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.acquireView(a);
+                    co_await n.acquireRview(a);
+                  });
+}
+
+TEST_P(VcApiTest, LockPrimitivesRejected) {
+  expectVoppError(GetParam(), "lock primitives",
+                  [](vopp::Node& n, dsm::ViewId,
+                     dsm::ViewId) -> sim::Task<void> {
+                    co_await n.acquireLock(0);
+                  });
+}
+
+// Rview holders must actually overlap in time (reader concurrency).
+TEST_P(VcApiTest, RviewsOverlapInTime) {
+  vopp::Cluster cluster(opts(GetParam(), 4));
+  dsm::ViewId v = cluster.defineView(4096);
+  std::vector<sim::Time> hold_start(4), hold_end(4);
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    co_await node.barrier();
+    co_await node.acquireRview(v);
+    hold_start[static_cast<size_t>(node.id())] = node.now();
+    node.charge(sim::msec(10));  // hold the Rview for a long time
+    hold_end[static_cast<size_t>(node.id())] = node.now();
+    co_await node.releaseRview(v);
+    co_await node.barrier();
+  });
+  // All four hold intervals of ~10ms must overlap pairwise: end-to-end the
+  // program takes ~10ms, not ~40ms.
+  sim::Time max_start = *std::max_element(hold_start.begin(), hold_start.end());
+  sim::Time min_end = *std::min_element(hold_end.begin(), hold_end.end());
+  EXPECT_LT(max_start, min_end) << "readers were serialized";
+}
+
+// Writers exclude each other: exclusive hold intervals must not overlap.
+TEST_P(VcApiTest, WritersAreSerialized) {
+  vopp::Cluster cluster(opts(GetParam(), 4));
+  dsm::ViewId v = cluster.defineView(4096);
+  std::vector<std::pair<sim::Time, sim::Time>> holds;
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    co_await node.acquireView(v);
+    sim::Time start = node.now();
+    node.charge(sim::msec(1));
+    holds.emplace_back(start, node.now());
+    co_await node.releaseView(v);
+    co_await node.barrier();
+  });
+  std::sort(holds.begin(), holds.end());
+  for (size_t i = 1; i < holds.size(); ++i)
+    EXPECT_GE(holds[i].first, holds[i - 1].second) << "writer overlap";
+}
+
+TEST_P(VcApiTest, MergeViewsBringsEverythingUpToDate) {
+  vopp::Cluster cluster(opts(GetParam(), 3));
+  std::vector<dsm::ViewId> views;
+  for (int i = 0; i < 3; ++i) views.push_back(cluster.defineView(256));
+  cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+    dsm::ViewId mine = views[static_cast<size_t>(node.id())];
+    co_await node.acquireView(mine);
+    size_t off = node.cluster().viewOffset(mine);
+    co_await node.touchWrite(off, 8);
+    *reinterpret_cast<int64_t*>(node.mem(off, 8).data()) = node.id() + 100;
+    co_await node.releaseView(mine);
+    co_await node.barrier();
+    co_await node.mergeViews();
+    // After merge_views every view's content is locally visible.
+    for (int i = 0; i < 3; ++i) {
+      size_t o = node.cluster().viewOffset(views[static_cast<size_t>(i)]);
+      int64_t got = *reinterpret_cast<const int64_t*>(node.memView(o, 8).data());
+      if (got != i + 100) throw Error("merge_views left stale data");
+    }
+    co_await node.barrier();
+  });
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, VcApiTest,
+                         ::testing::Values(Protocol::kVcDiff, Protocol::kVcSd),
+                         [](const auto& info) {
+                           return dsm::protocolName(info.param);
+                         });
+
+// Cross-cutting invariants.
+TEST(ClusterApi, RunTwiceRejected) {
+  vopp::Cluster cluster(opts(Protocol::kVcSd, 2));
+  cluster.defineView(8);
+  auto noop = [](vopp::Node& node) -> sim::Task<void> {
+    co_await node.barrier();
+  };
+  cluster.run(noop);
+  EXPECT_THROW(cluster.run(noop), Error);
+}
+
+TEST(ClusterApi, DefineViewAfterRunRejected) {
+  vopp::Cluster cluster(opts(Protocol::kVcSd, 2));
+  cluster.defineView(8);
+  cluster.run([](vopp::Node& node) -> sim::Task<void> {
+    co_await node.barrier();
+  });
+  EXPECT_THROW(cluster.defineView(8), Error);
+}
+
+TEST(ClusterApi, DeadlockIsDetected) {
+  vopp::Cluster cluster(opts(Protocol::kVcSd, 2));
+  cluster.defineView(8);
+  EXPECT_THROW(
+      cluster.run([](vopp::Node& node) -> sim::Task<void> {
+        // Node 1 never arrives at node 0's barrier.
+        if (node.id() == 0) co_await node.barrier();
+      }),
+      Error);
+}
+
+TEST(ClusterApi, VcSdNeverIssuesDiffRequests) {
+  for (int procs : {2, 4, 8}) {
+    vopp::Cluster cluster(opts(Protocol::kVcSd, procs));
+    dsm::ViewId v = cluster.defineView(8192);
+    cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+      for (int r = 0; r < 5; ++r) {
+        co_await node.acquireView(v);
+        size_t off = node.cluster().viewOffset(v);
+        co_await node.touchWrite(off, 8192);
+        node.mem(off, 1)[0] = static_cast<std::byte>(node.id() + r);
+        co_await node.releaseView(v);
+      }
+      co_await node.barrier();
+    });
+    EXPECT_EQ(cluster.dsmStats().diff_requests, 0u) << procs << " procs";
+  }
+}
+
+TEST(ClusterApi, DeterministicAcrossIdenticalRuns) {
+  auto once = [](uint64_t seed) {
+    vopp::Cluster cluster(opts(Protocol::kVcDiff, 4, seed));
+    dsm::ViewId v = cluster.defineView(4096);
+    cluster.run([&](vopp::Node& node) -> sim::Task<void> {
+      for (int r = 0; r < 10; ++r) {
+        co_await node.acquireView(v);
+        size_t off = node.cluster().viewOffset(v);
+        co_await node.touchWrite(off, 64);
+        node.mem(off, 1)[0] = static_cast<std::byte>(r);
+        co_await node.releaseView(v);
+      }
+      co_await node.barrier();
+    });
+    return std::tuple{cluster.finishTime(), cluster.netStats().messages,
+                      cluster.dsmStats().acquires,
+                      cluster.dsmStats().diff_requests};
+  };
+  EXPECT_EQ(once(1), once(1));
+  EXPECT_EQ(once(9), once(9));
+}
+
+}  // namespace
+}  // namespace vodsm
