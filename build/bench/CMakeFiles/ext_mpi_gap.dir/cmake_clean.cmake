@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mpi_gap.dir/ext_mpi_gap.cpp.o"
+  "CMakeFiles/ext_mpi_gap.dir/ext_mpi_gap.cpp.o.d"
+  "ext_mpi_gap"
+  "ext_mpi_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mpi_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

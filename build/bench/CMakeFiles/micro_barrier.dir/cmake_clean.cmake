@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_barrier.dir/micro_barrier.cpp.o"
+  "CMakeFiles/micro_barrier.dir/micro_barrier.cpp.o.d"
+  "micro_barrier"
+  "micro_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_diff.dir/micro_diff.cpp.o"
+  "CMakeFiles/micro_diff.dir/micro_diff.cpp.o.d"
+  "micro_diff"
+  "micro_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

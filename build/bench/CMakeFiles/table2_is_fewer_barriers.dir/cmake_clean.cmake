@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_is_fewer_barriers.dir/table2_is_fewer_barriers.cpp.o"
+  "CMakeFiles/table2_is_fewer_barriers.dir/table2_is_fewer_barriers.cpp.o.d"
+  "table2_is_fewer_barriers"
+  "table2_is_fewer_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_is_fewer_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_gauss_stats.dir/table4_gauss_stats.cpp.o"
+  "CMakeFiles/table4_gauss_stats.dir/table4_gauss_stats.cpp.o.d"
+  "table4_gauss_stats"
+  "table4_gauss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gauss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

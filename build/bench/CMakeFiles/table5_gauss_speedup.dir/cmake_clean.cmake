@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gauss_speedup.dir/table5_gauss_speedup.cpp.o"
+  "CMakeFiles/table5_gauss_speedup.dir/table5_gauss_speedup.cpp.o.d"
+  "table5_gauss_speedup"
+  "table5_gauss_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gauss_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

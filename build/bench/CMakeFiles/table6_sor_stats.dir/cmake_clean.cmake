@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sor_stats.dir/table6_sor_stats.cpp.o"
+  "CMakeFiles/table6_sor_stats.dir/table6_sor_stats.cpp.o.d"
+  "table6_sor_stats"
+  "table6_sor_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sor_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

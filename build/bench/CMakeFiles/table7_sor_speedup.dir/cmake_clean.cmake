@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_sor_speedup.dir/table7_sor_speedup.cpp.o"
+  "CMakeFiles/table7_sor_speedup.dir/table7_sor_speedup.cpp.o.d"
+  "table7_sor_speedup"
+  "table7_sor_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sor_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_nn_stats.dir/table8_nn_stats.cpp.o"
+  "CMakeFiles/table8_nn_stats.dir/table8_nn_stats.cpp.o.d"
+  "table8_nn_stats"
+  "table8_nn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_nn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

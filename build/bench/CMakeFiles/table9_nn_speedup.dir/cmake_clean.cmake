@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_nn_speedup.dir/table9_nn_speedup.cpp.o"
+  "CMakeFiles/table9_nn_speedup.dir/table9_nn_speedup.cpp.o.d"
+  "table9_nn_speedup"
+  "table9_nn_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_nn_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_tuning.dir/view_tuning.cpp.o"
+  "CMakeFiles/view_tuning.dir/view_tuning.cpp.o.d"
+  "view_tuning"
+  "view_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_run.dir/vodsm_run.cpp.o"
+  "CMakeFiles/vodsm_run.dir/vodsm_run.cpp.o.d"
+  "vodsm_run"
+  "vodsm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

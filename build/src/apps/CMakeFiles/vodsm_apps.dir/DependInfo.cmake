@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gauss.cpp" "src/apps/CMakeFiles/vodsm_apps.dir/gauss.cpp.o" "gcc" "src/apps/CMakeFiles/vodsm_apps.dir/gauss.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/vodsm_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/vodsm_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/nn.cpp" "src/apps/CMakeFiles/vodsm_apps.dir/nn.cpp.o" "gcc" "src/apps/CMakeFiles/vodsm_apps.dir/nn.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/vodsm_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/vodsm_apps.dir/sor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vopp/CMakeFiles/vodsm_vopp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vodsm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/vodsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vodsm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_apps.dir/gauss.cpp.o"
+  "CMakeFiles/vodsm_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/vodsm_apps.dir/is.cpp.o"
+  "CMakeFiles/vodsm_apps.dir/is.cpp.o.d"
+  "CMakeFiles/vodsm_apps.dir/nn.cpp.o"
+  "CMakeFiles/vodsm_apps.dir/nn.cpp.o.d"
+  "CMakeFiles/vodsm_apps.dir/sor.cpp.o"
+  "CMakeFiles/vodsm_apps.dir/sor.cpp.o.d"
+  "libvodsm_apps.a"
+  "libvodsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_dsm.dir/lrc.cpp.o"
+  "CMakeFiles/vodsm_dsm.dir/lrc.cpp.o.d"
+  "CMakeFiles/vodsm_dsm.dir/vc.cpp.o"
+  "CMakeFiles/vodsm_dsm.dir/vc.cpp.o.d"
+  "libvodsm_dsm.a"
+  "libvodsm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

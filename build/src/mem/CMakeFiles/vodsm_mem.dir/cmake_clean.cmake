@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_mem.dir/diff.cpp.o"
+  "CMakeFiles/vodsm_mem.dir/diff.cpp.o.d"
+  "libvodsm_mem.a"
+  "libvodsm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_msg.dir/world.cpp.o"
+  "CMakeFiles/vodsm_msg.dir/world.cpp.o.d"
+  "libvodsm_msg.a"
+  "libvodsm_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsm_vopp.dir/cluster.cpp.o"
+  "CMakeFiles/vodsm_vopp.dir/cluster.cpp.o.d"
+  "libvodsm_vopp.a"
+  "libvodsm_vopp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsm_vopp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvodsm_vopp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_property.dir/test_apps_property.cpp.o"
+  "CMakeFiles/test_apps_property.dir/test_apps_property.cpp.o.d"
+  "test_apps_property"
+  "test_apps_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm_core.dir/test_dsm_core.cpp.o"
+  "CMakeFiles/test_dsm_core.dir/test_dsm_core.cpp.o.d"
+  "test_dsm_core"
+  "test_dsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

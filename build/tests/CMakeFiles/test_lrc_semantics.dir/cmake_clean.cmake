@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrc_semantics.dir/test_lrc_semantics.cpp.o"
+  "CMakeFiles/test_lrc_semantics.dir/test_lrc_semantics.cpp.o.d"
+  "test_lrc_semantics"
+  "test_lrc_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrc_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vopp_api.dir/test_vopp_api.cpp.o"
+  "CMakeFiles/test_vopp_api.dir/test_vopp_api.cpp.o.d"
+  "test_vopp_api"
+  "test_vopp_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vopp_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

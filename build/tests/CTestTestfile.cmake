@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke "/root/repo/build/tests/smoke")
+set_tests_properties(smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dsm_core "/root/repo/build/tests/test_dsm_core")
+set_tests_properties(test_dsm_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps "/root/repo/build/tests/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build/tests/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vopp_api "/root/repo/build/tests/test_vopp_api")
+set_tests_properties(test_vopp_api PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_msg "/root/repo/build/tests/test_msg")
+set_tests_properties(test_msg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stress "/root/repo/build/tests/test_stress")
+set_tests_properties(test_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lrc_semantics "/root/repo/build/tests/test_lrc_semantics")
+set_tests_properties(test_lrc_semantics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps_property "/root/repo/build/tests/test_apps_property")
+set_tests_properties(test_apps_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness "/root/repo/build/tests/test_harness")
+set_tests_properties(test_harness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;vodsm_test;/root/repo/tests/CMakeLists.txt;0;")
