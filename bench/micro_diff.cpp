@@ -27,6 +27,84 @@ Bytes mutate(const Bytes& base, double density, uint64_t seed) {
   return out;
 }
 
+// Reference implementation of the pre-optimization 4-byte-word memcmp scan
+// (the original Diff::create), kept here so the 64-bit-word production path
+// can be compared against it — and checked equivalent — on every pattern.
+Diff diffCreateWordScan(const Bytes& current, const Bytes& twin) {
+  constexpr size_t kWord = 4;
+  Diff d(0);
+  size_t i = 0;
+  while (i < kPageSize) {
+    if (std::memcmp(current.data() + i, twin.data() + i, kWord) == 0) {
+      i += kWord;
+      continue;
+    }
+    size_t start = i;
+    while (i < kPageSize &&
+           std::memcmp(current.data() + i, twin.data() + i, kWord) != 0)
+      i += kWord;
+    d.addRun(static_cast<uint16_t>(start),
+             vodsm::ByteSpan(current).subspan(start, i - start));
+  }
+  return d;
+}
+
+// Change patterns the protocols actually produce: empty (clean page at
+// release), sparse scattered words, a dense page, and one contiguous run
+// (the common "block rewrite" shape).
+struct Pattern {
+  const char* name;
+  Bytes cur;
+  Bytes twin;
+};
+
+Pattern makePattern(int which) {
+  Bytes twin = makePage(1);
+  switch (which) {
+    case 0: return {"empty", twin, twin};
+    case 1: return {"sparse1pct", mutate(twin, 0.01, 2), twin};
+    case 2: return {"sparse10pct", mutate(twin, 0.10, 2), twin};
+    case 3: return {"dense", mutate(twin, 1.0, 2), twin};
+    default: {
+      Bytes cur = twin;
+      for (size_t i = kPageSize / 4; i < kPageSize / 2; ++i)
+        cur[i] = static_cast<std::byte>(~std::to_integer<unsigned>(cur[i]));
+      return {"one_block", cur, twin};
+    }
+  }
+}
+
+// Old vs new scan, throughput in bytes/s of page scanned (SetBytesProcessed
+// prints it as MB/s or GB/s).
+void BM_DiffCreateWordScan(benchmark::State& state) {
+  Pattern p = makePattern(static_cast<int>(state.range(0)));
+  state.SetLabel(p.name);
+  for (auto _ : state) {
+    Diff d = diffCreateWordScan(p.cur, p.twin);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_DiffCreateWordScan)->DenseRange(0, 4);
+
+void BM_DiffCreate64BitScan(benchmark::State& state) {
+  Pattern p = makePattern(static_cast<int>(state.range(0)));
+  state.SetLabel(p.name);
+  // The optimization must not change results: same runs, same bytes.
+  if (!(Diff::create(0, p.cur, p.twin) == diffCreateWordScan(p.cur, p.twin))) {
+    state.SkipWithError("64-bit scan diverges from word-scan reference");
+    return;
+  }
+  for (auto _ : state) {
+    Diff d = Diff::create(0, p.cur, p.twin);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_DiffCreate64BitScan)->DenseRange(0, 4);
+
 void BM_DiffCreate(benchmark::State& state) {
   const double density = static_cast<double>(state.range(0)) / 100.0;
   Bytes twin = makePage(1);

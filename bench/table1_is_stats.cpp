@@ -5,27 +5,9 @@
 // (compare the Barrier Time rows) and the distributed traffic suffers fewer
 // retransmissions (Rexmit row). VC_sd cuts both messages and data sharply
 // and issues zero diff requests.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::isParams(opts.full);
-
-  bench::StatsTable table("Table 1: Statistics of IS on " +
-                          std::to_string(opts.procs) + " processors");
-  table.add("LRC_d",
-            apps::runIs(bench::baseConfig(dsm::Protocol::kLrcDiff, opts.procs),
-                        params, apps::IsVariant::kTraditional)
-                .result);
-  table.add("VC_d",
-            apps::runIs(bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
-                        params, apps::IsVariant::kVopp)
-                .result);
-  table.add("VC_sd",
-            apps::runIs(bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
-                        params, apps::IsVariant::kVopp)
-                .result);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table1Spec(opts), opts);
 }

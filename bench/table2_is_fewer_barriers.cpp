@@ -4,23 +4,9 @@
 // only replicated what view exclusivity already guarantees, so it is moved
 // out of the loop. Expected shape: lower time than the Table 1 VOPP runs,
 // with the same data volume.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::isParams(opts.full);
-
-  bench::StatsTable table("Table 2: Statistics of IS with fewer barriers on " +
-                          std::to_string(opts.procs) + " processors");
-  table.add("VC_d",
-            apps::runIs(bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
-                        params, apps::IsVariant::kVoppFewerBarriers)
-                .result);
-  table.add("VC_sd",
-            apps::runIs(bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
-                        params, apps::IsVariant::kVoppFewerBarriers)
-                .result);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table2Spec(opts), opts);
 }

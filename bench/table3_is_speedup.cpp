@@ -4,35 +4,9 @@
 // program. Expected shape: VC_sd well above LRC_d everywhere; the
 // fewer-barriers variant (VC_sd lb) pulls further ahead as the processor
 // count grows.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::isParams(opts.full);
-
-  const double t_seq =
-      apps::runIs(bench::sequentialConfig(), params,
-                  apps::IsVariant::kTraditional)
-          .result.seconds;
-
-  bench::SpeedupTable table("Table 3: Speedup of IS on LRC_d and VC_sd",
-                            {2, 4, 8, 16, 24, 32});
-  std::vector<double> lrc, vcsd, vcsd_lb;
-  for (int p : table.procs()) {
-    lrc.push_back(apps::runIs(bench::baseConfig(dsm::Protocol::kLrcDiff, p),
-                              params, apps::IsVariant::kTraditional)
-                      .result.seconds);
-    vcsd.push_back(apps::runIs(bench::baseConfig(dsm::Protocol::kVcSd, p),
-                               params, apps::IsVariant::kVopp)
-                       .result.seconds);
-    vcsd_lb.push_back(apps::runIs(bench::baseConfig(dsm::Protocol::kVcSd, p),
-                                  params, apps::IsVariant::kVoppFewerBarriers)
-                          .result.seconds);
-  }
-  table.add("LRC_d", t_seq, lrc);
-  table.add("VC_sd", t_seq, vcsd);
-  table.add("VC_sd lb", t_seq, vcsd_lb);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table3Spec(opts), opts);
 }

@@ -3,27 +3,9 @@
 // Expected shape (paper Section 5.2): the VOPP conversion keeps the row
 // blocks in local buffers, so VC_d issues far fewer diff requests than
 // LRC_d and moves far less data; VC_sd eliminates diff requests entirely.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::gaussParams(opts.full);
-
-  bench::StatsTable table("Table 4: Statistics of Gauss on " +
-                          std::to_string(opts.procs) + " processors");
-  table.add("LRC_d", apps::runGauss(
-                         bench::baseConfig(dsm::Protocol::kLrcDiff, opts.procs),
-                         params, apps::GaussVariant::kTraditional)
-                         .result);
-  table.add("VC_d", apps::runGauss(
-                        bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
-                        params, apps::GaussVariant::kVopp)
-                        .result);
-  table.add("VC_sd", apps::runGauss(
-                         bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
-                         params, apps::GaussVariant::kVopp)
-                         .result);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table4Spec(opts), opts);
 }

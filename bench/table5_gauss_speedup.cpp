@@ -1,30 +1,7 @@
 // Table 5: speedup of Gauss on LRC_d and VC_sd (2..32 processors).
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::gaussParams(opts.full);
-
-  const double t_seq =
-      apps::runGauss(bench::sequentialConfig(), params,
-                     apps::GaussVariant::kTraditional)
-          .result.seconds;
-
-  bench::SpeedupTable table("Table 5: Speedup of Gauss on LRC_d and VC_sd",
-                            {2, 4, 8, 16, 24, 32});
-  std::vector<double> lrc, vcsd;
-  for (int p : table.procs()) {
-    lrc.push_back(
-        apps::runGauss(bench::baseConfig(dsm::Protocol::kLrcDiff, p), params,
-                       apps::GaussVariant::kTraditional)
-            .result.seconds);
-    vcsd.push_back(apps::runGauss(bench::baseConfig(dsm::Protocol::kVcSd, p),
-                                  params, apps::GaussVariant::kVopp)
-                       .result.seconds);
-  }
-  table.add("LRC_d", t_seq, lrc);
-  table.add("VC_sd", t_seq, vcsd);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table5Spec(opts), opts);
 }

@@ -3,27 +3,9 @@
 // Expected shape (paper Section 5.3): local buffers plus border views cut
 // the transferred data dramatically (paper: 11.85 MB -> 2.99 MB) and VC
 // barriers are far cheaper than LRC's.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::sorParams(opts.full);
-
-  bench::StatsTable table("Table 6: Statistics of SOR on " +
-                          std::to_string(opts.procs) + " processors");
-  table.add("LRC_d",
-            apps::runSor(bench::baseConfig(dsm::Protocol::kLrcDiff, opts.procs),
-                         params, apps::SorVariant::kTraditional)
-                .result);
-  table.add("VC_d",
-            apps::runSor(bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
-                         params, apps::SorVariant::kVopp)
-                .result);
-  table.add("VC_sd",
-            apps::runSor(bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
-                         params, apps::SorVariant::kVopp)
-                .result);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table6Spec(opts), opts);
 }

@@ -5,30 +5,9 @@
 // data and runs slower than LRC_d. The potential only pays off with the
 // integrated-diff implementation: VC_sd cuts messages and data sharply
 // (diff integration + piggybacking) and beats LRC_d.
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::nnParams(opts.full);
-
-  bench::StatsTable table("Table 8: Statistics of NN on " +
-                          std::to_string(opts.procs) + " processors");
-  table.add("LRC_d",
-            apps::runNn(bench::baseConfig(dsm::Protocol::kLrcDiff, opts.procs),
-                        params, apps::NnVariant::kTraditional)
-                .result,
-            /*show_acquire_time=*/true);
-  table.add("VC_d",
-            apps::runNn(bench::baseConfig(dsm::Protocol::kVcDiff, opts.procs),
-                        params, apps::NnVariant::kVopp)
-                .result,
-            /*show_acquire_time=*/true);
-  table.add("VC_sd",
-            apps::runNn(bench::baseConfig(dsm::Protocol::kVcSd, opts.procs),
-                        params, apps::NnVariant::kVopp)
-                .result,
-            /*show_acquire_time=*/true);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table8Spec(opts), opts);
 }

@@ -3,35 +3,9 @@
 // Expected shape: VC_sd far above LRC_d; MPI comparable to VC_sd up to 16
 // processors with the gap opening at 24-32 (the paper's closing
 // observation).
-#include "bench/helpers.hpp"
+#include "bench/tables.hpp"
 
 int main(int argc, char** argv) {
-  using namespace vodsm;
-  auto opts = bench::parseArgs(argc, argv);
-  auto params = bench::nnParams(opts.full);
-
-  const double t_seq =
-      apps::runNn(bench::sequentialConfig(), params,
-                  apps::NnVariant::kTraditional)
-          .result.seconds;
-
-  bench::SpeedupTable table("Table 9: Speedup of NN on LRC_d, VC_sd and MPI",
-                            {2, 4, 8, 16, 24, 32});
-  std::vector<double> lrc, vcsd, mpi;
-  for (int p : table.procs()) {
-    lrc.push_back(apps::runNn(bench::baseConfig(dsm::Protocol::kLrcDiff, p),
-                              params, apps::NnVariant::kTraditional)
-                      .result.seconds);
-    vcsd.push_back(apps::runNn(bench::baseConfig(dsm::Protocol::kVcSd, p),
-                               params, apps::NnVariant::kVopp)
-                       .result.seconds);
-    mpi.push_back(apps::runNn(bench::baseConfig(dsm::Protocol::kVcSd, p),
-                              params, apps::NnVariant::kMpi)
-                      .result.seconds);
-  }
-  table.add("LRC_d", t_seq, lrc);
-  table.add("VC_sd", t_seq, vcsd);
-  table.add("MPI", t_seq, mpi);
-  table.print(std::cout);
-  return 0;
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table9Spec(opts), opts);
 }

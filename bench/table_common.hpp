@@ -20,16 +20,39 @@ namespace vodsm::bench {
 struct Options {
   bool full = false;
   int procs = 16;
+  // Host threads for the cell sweep: 0 = VODSM_JOBS env or hardware
+  // concurrency; 1 = serial.
+  int jobs = 0;
+  // When nonempty, append this run's machine-readable record there.
+  std::string json;
+  // table_suite only: also run the sweep serially and record the speedup.
+  bool compare_serial = false;
 };
+
+inline int parseIntArg(const std::string& a, size_t prefix_len) {
+  try {
+    size_t used = 0;
+    int v = std::stoi(a.substr(prefix_len), &used);
+    if (used == a.size() - prefix_len) return v;
+  } catch (...) {
+  }
+  std::cerr << "not a number: '" << a << "'\n";
+  std::exit(2);
+}
 
 inline Options parseArgs(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--full") o.full = true;
-    else if (a.rfind("--procs=", 0) == 0) o.procs = std::stoi(a.substr(8));
+    else if (a == "--compare-serial") o.compare_serial = true;
+    else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
+    else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
+    else if (a.rfind("--json=", 0) == 0) o.json = a.substr(7);
     else {
-      std::cerr << "usage: " << argv[0] << " [--full] [--procs=N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
+                   " [--compare-serial]\n";
       std::exit(2);
     }
   }

@@ -1,0 +1,352 @@
+#include "bench/tables.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "bench/paper_params.hpp"
+#include "harness/parallel_runner.hpp"
+
+namespace vodsm::bench {
+
+namespace {
+
+using apps::GaussVariant;
+using apps::IsVariant;
+using apps::NnVariant;
+using apps::SorVariant;
+using dsm::Protocol;
+using harness::RunResult;
+
+// Processor counts of the speedup tables (paper Tables 3, 5, 7, 9).
+const std::vector<int> kSpeedupProcs = {2, 4, 8, 16, 24, 32};
+
+std::string cellId(const std::string& app, const std::string& impl,
+                   int procs) {
+  return app + "/" + impl + "/" + std::to_string(procs) + "p";
+}
+
+// --- cell builders: one per (app, variant) pair -------------------------
+
+Cell isCell(const Options& o, const std::string& impl, Protocol proto,
+            IsVariant variant, int procs) {
+  auto params = isParams(o.full);
+  return Cell{cellId("IS", impl, procs), [=] {
+                return apps::runIs(baseConfig(proto, procs), params, variant)
+                    .result;
+              }};
+}
+
+Cell isSeqCell(const Options& o) {
+  auto params = isParams(o.full);
+  return Cell{cellId("IS", "seq", 1), [=] {
+                return apps::runIs(sequentialConfig(), params,
+                                   IsVariant::kTraditional)
+                    .result;
+              }};
+}
+
+Cell gaussCell(const Options& o, const std::string& impl, Protocol proto,
+               GaussVariant variant, int procs) {
+  auto params = gaussParams(o.full);
+  return Cell{cellId("Gauss", impl, procs), [=] {
+                return apps::runGauss(baseConfig(proto, procs), params,
+                                      variant)
+                    .result;
+              }};
+}
+
+Cell gaussSeqCell(const Options& o) {
+  auto params = gaussParams(o.full);
+  return Cell{cellId("Gauss", "seq", 1), [=] {
+                return apps::runGauss(sequentialConfig(), params,
+                                      GaussVariant::kTraditional)
+                    .result;
+              }};
+}
+
+Cell sorCell(const Options& o, const std::string& impl, Protocol proto,
+             SorVariant variant, int procs) {
+  auto params = sorParams(o.full);
+  return Cell{cellId("SOR", impl, procs), [=] {
+                return apps::runSor(baseConfig(proto, procs), params, variant)
+                    .result;
+              }};
+}
+
+Cell sorSeqCell(const Options& o) {
+  auto params = sorParams(o.full);
+  return Cell{cellId("SOR", "seq", 1), [=] {
+                return apps::runSor(sequentialConfig(), params,
+                                    SorVariant::kTraditional)
+                    .result;
+              }};
+}
+
+Cell nnCell(const Options& o, const std::string& impl, Protocol proto,
+            NnVariant variant, int procs) {
+  auto params = nnParams(o.full);
+  return Cell{cellId("NN", impl, procs), [=] {
+                return apps::runNn(baseConfig(proto, procs), params, variant)
+                    .result;
+              }};
+}
+
+Cell nnSeqCell(const Options& o) {
+  auto params = nnParams(o.full);
+  return Cell{cellId("NN", "seq", 1), [=] {
+                return apps::runNn(sequentialConfig(), params,
+                                   NnVariant::kTraditional)
+                    .result;
+              }};
+}
+
+// --- table shapes -------------------------------------------------------
+
+// Stats table: one column per named cell, in cell order.
+TableSpec statsSpec(std::string name, std::string title,
+                    std::vector<std::string> col_names,
+                    std::vector<Cell> cells, bool show_acquire_time = false) {
+  TableSpec spec;
+  spec.name = std::move(name);
+  spec.cells = std::move(cells);
+  spec.print = [title = std::move(title), col_names = std::move(col_names),
+                show_acquire_time](std::ostream& os,
+                                   const std::vector<RunResult>& results) {
+    StatsTable table(title);
+    for (size_t i = 0; i < results.size(); ++i)
+      table.add(col_names[i], results[i], show_acquire_time);
+    table.print(os);
+  };
+  return spec;
+}
+
+// Speedup table: cell 0 is the sequential baseline, then row-major
+// (row r, processor count k) at index 1 + r * |procs| + k.
+TableSpec speedupSpec(std::string name, std::string title,
+                      std::vector<std::string> row_names, Cell seq_cell,
+                      std::vector<Cell> grid_cells) {
+  TableSpec spec;
+  spec.name = std::move(name);
+  spec.cells.push_back(std::move(seq_cell));
+  for (auto& c : grid_cells) spec.cells.push_back(std::move(c));
+  spec.print = [title = std::move(title), row_names = std::move(row_names)](
+                   std::ostream& os, const std::vector<RunResult>& results) {
+    SpeedupTable table(title, kSpeedupProcs);
+    const double t_seq = results[0].seconds;
+    const size_t np = kSpeedupProcs.size();
+    for (size_t r = 0; r < row_names.size(); ++r) {
+      std::vector<double> times;
+      for (size_t k = 0; k < np; ++k)
+        times.push_back(results[1 + r * np + k].seconds);
+      table.add(row_names[r], t_seq, times);
+    }
+    table.print(os);
+  };
+  return spec;
+}
+
+}  // namespace
+
+TableSpec table1Spec(const Options& o) {
+  return statsSpec(
+      "table1_is_stats",
+      "Table 1: Statistics of IS on " + std::to_string(o.procs) +
+          " processors",
+      {"LRC_d", "VC_d", "VC_sd"},
+      {isCell(o, "LRC_d", Protocol::kLrcDiff, IsVariant::kTraditional,
+              o.procs),
+       isCell(o, "VC_d", Protocol::kVcDiff, IsVariant::kVopp, o.procs),
+       isCell(o, "VC_sd", Protocol::kVcSd, IsVariant::kVopp, o.procs)});
+}
+
+TableSpec table2Spec(const Options& o) {
+  return statsSpec(
+      "table2_is_fewer_barriers",
+      "Table 2: Statistics of IS with fewer barriers on " +
+          std::to_string(o.procs) + " processors",
+      {"VC_d", "VC_sd"},
+      {isCell(o, "VC_d_lb", Protocol::kVcDiff,
+              IsVariant::kVoppFewerBarriers, o.procs),
+       isCell(o, "VC_sd_lb", Protocol::kVcSd, IsVariant::kVoppFewerBarriers,
+              o.procs)});
+}
+
+TableSpec table3Spec(const Options& o) {
+  std::vector<Cell> grid;
+  for (int p : kSpeedupProcs)
+    grid.push_back(
+        isCell(o, "LRC_d", Protocol::kLrcDiff, IsVariant::kTraditional, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(isCell(o, "VC_sd", Protocol::kVcSd, IsVariant::kVopp, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(isCell(o, "VC_sd_lb", Protocol::kVcSd,
+                          IsVariant::kVoppFewerBarriers, p));
+  return speedupSpec("table3_is_speedup",
+                     "Table 3: Speedup of IS on LRC_d and VC_sd",
+                     {"LRC_d", "VC_sd", "VC_sd lb"}, isSeqCell(o),
+                     std::move(grid));
+}
+
+TableSpec table4Spec(const Options& o) {
+  return statsSpec(
+      "table4_gauss_stats",
+      "Table 4: Statistics of Gauss on " + std::to_string(o.procs) +
+          " processors",
+      {"LRC_d", "VC_d", "VC_sd"},
+      {gaussCell(o, "LRC_d", Protocol::kLrcDiff, GaussVariant::kTraditional,
+                 o.procs),
+       gaussCell(o, "VC_d", Protocol::kVcDiff, GaussVariant::kVopp, o.procs),
+       gaussCell(o, "VC_sd", Protocol::kVcSd, GaussVariant::kVopp,
+                 o.procs)});
+}
+
+TableSpec table5Spec(const Options& o) {
+  std::vector<Cell> grid;
+  for (int p : kSpeedupProcs)
+    grid.push_back(gaussCell(o, "LRC_d", Protocol::kLrcDiff,
+                             GaussVariant::kTraditional, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(
+        gaussCell(o, "VC_sd", Protocol::kVcSd, GaussVariant::kVopp, p));
+  return speedupSpec("table5_gauss_speedup",
+                     "Table 5: Speedup of Gauss on LRC_d and VC_sd",
+                     {"LRC_d", "VC_sd"}, gaussSeqCell(o), std::move(grid));
+}
+
+TableSpec table6Spec(const Options& o) {
+  return statsSpec(
+      "table6_sor_stats",
+      "Table 6: Statistics of SOR on " + std::to_string(o.procs) +
+          " processors",
+      {"LRC_d", "VC_d", "VC_sd"},
+      {sorCell(o, "LRC_d", Protocol::kLrcDiff, SorVariant::kTraditional,
+               o.procs),
+       sorCell(o, "VC_d", Protocol::kVcDiff, SorVariant::kVopp, o.procs),
+       sorCell(o, "VC_sd", Protocol::kVcSd, SorVariant::kVopp, o.procs)});
+}
+
+TableSpec table7Spec(const Options& o) {
+  std::vector<Cell> grid;
+  for (int p : kSpeedupProcs)
+    grid.push_back(
+        sorCell(o, "LRC_d", Protocol::kLrcDiff, SorVariant::kTraditional, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(sorCell(o, "VC_sd", Protocol::kVcSd, SorVariant::kVopp, p));
+  return speedupSpec("table7_sor_speedup",
+                     "Table 7: Speedup of SOR on LRC_d and VC_sd",
+                     {"LRC_d", "VC_sd"}, sorSeqCell(o), std::move(grid));
+}
+
+TableSpec table8Spec(const Options& o) {
+  return statsSpec(
+      "table8_nn_stats",
+      "Table 8: Statistics of NN on " + std::to_string(o.procs) +
+          " processors",
+      {"LRC_d", "VC_d", "VC_sd"},
+      {nnCell(o, "LRC_d", Protocol::kLrcDiff, NnVariant::kTraditional,
+              o.procs),
+       nnCell(o, "VC_d", Protocol::kVcDiff, NnVariant::kVopp, o.procs),
+       nnCell(o, "VC_sd", Protocol::kVcSd, NnVariant::kVopp, o.procs)},
+      /*show_acquire_time=*/true);
+}
+
+TableSpec table9Spec(const Options& o) {
+  std::vector<Cell> grid;
+  for (int p : kSpeedupProcs)
+    grid.push_back(
+        nnCell(o, "LRC_d", Protocol::kLrcDiff, NnVariant::kTraditional, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(nnCell(o, "VC_sd", Protocol::kVcSd, NnVariant::kVopp, p));
+  for (int p : kSpeedupProcs)
+    grid.push_back(nnCell(o, "MPI", Protocol::kVcSd, NnVariant::kMpi, p));
+  return speedupSpec("table9_nn_speedup",
+                     "Table 9: Speedup of NN on LRC_d, VC_sd and MPI",
+                     {"LRC_d", "VC_sd", "MPI"}, nnSeqCell(o),
+                     std::move(grid));
+}
+
+std::vector<TableSpec> allTableSpecs(const Options& o) {
+  std::vector<TableSpec> specs;
+  specs.push_back(table1Spec(o));
+  specs.push_back(table2Spec(o));
+  specs.push_back(table3Spec(o));
+  specs.push_back(table4Spec(o));
+  specs.push_back(table5Spec(o));
+  specs.push_back(table6Spec(o));
+  specs.push_back(table7Spec(o));
+  specs.push_back(table8Spec(o));
+  specs.push_back(table9Spec(o));
+  return specs;
+}
+
+SpecRun runSpec(const TableSpec& spec, int jobs) {
+  using Clock = std::chrono::steady_clock;
+  SpecRun out;
+  out.results.resize(spec.cells.size());
+  out.cell_host_seconds.resize(spec.cells.size(), 0.0);
+  const auto t0 = Clock::now();
+  harness::ParallelRunner(jobs).forEach(spec.cells.size(), [&](size_t i) {
+    const auto c0 = Clock::now();
+    out.results[i] = spec.cells[i].run();
+    out.cell_host_seconds[i] =
+        std::chrono::duration<double>(Clock::now() - c0).count();
+  });
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
+                     const std::vector<SpecRun>& runs, const Options& o,
+                     int jobs, double wall_seconds,
+                     double serial_wall_seconds) {
+  size_t n_cells = 0;
+  for (const auto& s : specs) n_cells += s.cells.size();
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n";
+  os << "  \"suite\": \"paper_tables\",\n";
+  os << "  \"full\": " << (o.full ? "true" : "false") << ",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"cells\": " << n_cells << ",\n";
+  os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  if (serial_wall_seconds > 0) {
+    os << "  \"serial_wall_seconds\": " << serial_wall_seconds << ",\n";
+    os << "  \"speedup_vs_serial\": "
+       << (wall_seconds > 0 ? serial_wall_seconds / wall_seconds : 0.0)
+       << ",\n";
+  }
+  os << "  \"tables\": [\n";
+  for (size_t s = 0; s < specs.size(); ++s) {
+    os << "    {\"name\": \"" << specs[s].name << "\", \"wall_seconds\": "
+       << runs[s].wall_seconds << ", \"cells\": [\n";
+    for (size_t i = 0; i < specs[s].cells.size(); ++i) {
+      const auto& r = runs[s].results[i];
+      os << "      {\"id\": \"" << specs[s].cells[i].id
+         << "\", \"sim_seconds\": " << r.seconds
+         << ", \"host_seconds\": " << runs[s].cell_host_seconds[i]
+         << ", \"messages\": " << r.net.messages
+         << ", \"payload_bytes\": " << r.net.payload_bytes << "}"
+         << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (s + 1 < specs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int tableMain(const TableSpec& spec, const Options& o) {
+  SpecRun run = runSpec(spec, o.jobs);
+  spec.print(std::cout, run.results);
+  if (!o.json.empty()) {
+    std::ofstream f(o.json);
+    if (!f) {
+      std::cerr << "cannot write " << o.json << "\n";
+      return 1;
+    }
+    writeTablesJson(f, {spec}, {run}, o, harness::resolveJobs(o.jobs),
+                    run.wall_seconds, /*serial_wall_seconds=*/0);
+  }
+  return 0;
+}
+
+}  // namespace vodsm::bench

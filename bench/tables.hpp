@@ -1,0 +1,64 @@
+// Declarative table specs for the paper's nine evaluation tables.
+//
+// Each spec names its simulation cells (one cell = one independent,
+// deterministic run) and knows how to render the paper-style table from the
+// cell results. Splitting "which runs" from "run them" lets every table
+// binary — and the whole-suite driver — execute its cells through the
+// parallel runner while printing output byte-identical to the old serial
+// loops (results are consumed in submission order).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/table_common.hpp"
+
+namespace vodsm::bench {
+
+struct Cell {
+  std::string id;  // e.g. "IS/VC_sd/16p"
+  std::function<harness::RunResult()> run;
+};
+
+struct TableSpec {
+  std::string name;  // machine name, e.g. "table3_is_speedup"
+  std::vector<Cell> cells;
+  std::function<void(std::ostream&, const std::vector<harness::RunResult>&)>
+      print;
+};
+
+TableSpec table1Spec(const Options& o);
+TableSpec table2Spec(const Options& o);
+TableSpec table3Spec(const Options& o);
+TableSpec table4Spec(const Options& o);
+TableSpec table5Spec(const Options& o);
+TableSpec table6Spec(const Options& o);
+TableSpec table7Spec(const Options& o);
+TableSpec table8Spec(const Options& o);
+TableSpec table9Spec(const Options& o);
+std::vector<TableSpec> allTableSpecs(const Options& o);
+
+// Results of executing one spec's cells.
+struct SpecRun {
+  std::vector<harness::RunResult> results;   // cells in submission order
+  std::vector<double> cell_host_seconds;     // host wall-clock per cell
+  double wall_seconds = 0;                   // host wall-clock of the sweep
+};
+
+// Runs a spec's cells across `jobs` host threads (see parallel_runner.hpp).
+SpecRun runSpec(const TableSpec& spec, int jobs);
+
+// JSON record for BENCH_tables.json: per-cell simulated + host seconds,
+// sweep wall-clock, and (when measured) the serial baseline and speedup.
+void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
+                     const std::vector<SpecRun>& runs, const Options& o,
+                     int jobs, double wall_seconds,
+                     double serial_wall_seconds);
+
+// Shared main() for the per-table binaries: run cells in parallel, print
+// the table, optionally write the JSON record to o.json.
+int tableMain(const TableSpec& spec, const Options& o);
+
+}  // namespace vodsm::bench

@@ -115,7 +115,9 @@ struct DiffRespMsg {
   std::vector<std::pair<uint32_t, mem::Diff>> diffs;
 
   Bytes encode() const {
-    Writer w;
+    size_t total = 4;
+    for (const auto& [key, d] : diffs) total += 4 + d.wireSize();
+    Writer w(total);
     w.u32(static_cast<uint32_t>(diffs.size()));
     for (const auto& [key, d] : diffs) {
       w.u32(key);
@@ -229,7 +231,9 @@ struct ViewGrantMsg {
   std::vector<mem::Diff> diffs;   // VC_sd: integrated diffs, applied eagerly
 
   Bytes encode() const {
-    Writer w;
+    size_t total = 20 + notices.size() * 12;
+    for (const auto& d : diffs) total += d.wireSize();
+    Writer w(total);
     w.u32(view);
     w.u32(cur_version);
     w.u32(write_version);
@@ -274,7 +278,9 @@ struct ViewReleaseMsg {
   std::vector<mem::Diff> diffs;    // VC_sd: their diffs (home update)
 
   Bytes encode() const {
-    Writer w;
+    size_t total = 20 + pages.size() * 4;
+    for (const auto& d : diffs) total += d.wireSize();
+    Writer w(total);
     w.u32(view);
     w.u32(writer);
     w.u32(version);

@@ -1,0 +1,66 @@
+#include "harness/parallel_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace vodsm::harness {
+
+int defaultJobs() {
+  if (const char* env = std::getenv("VODSM_JOBS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int resolveJobs(int requested) {
+  if (requested == 0) return defaultJobs();
+  return requested < 1 ? 1 : requested;
+}
+
+void runIndexed(int jobs, size_t n, const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  const size_t workers =
+      std::min(static_cast<size_t>(resolveJobs(jobs)), n);
+  if (workers <= 1) {
+    // Serial fallback: same submission order, same thread, zero overhead.
+    for (size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+
+  // Dynamic sharding via one shared index: no work stealing, no per-task
+  // queues; a worker that draws a long cell simply draws fewer cells.
+  std::atomic<size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto body = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: sibling cells are independent, and finishing them
+        // leaves the result vector in a defined state before the rethrow.
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(body);
+  body();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vodsm::harness

@@ -1,0 +1,67 @@
+// Deterministic multi-threaded experiment driver.
+//
+// The paper's evaluation is a sweep of {protocol} x {procs} x {app} cells,
+// and every cell is an independent, deterministic simulation: a run builds
+// its own sim::Engine, network, and DSM runtimes from a RunConfig + seed
+// and shares nothing with any other run. ParallelRunner exploits exactly
+// that shape: it shards whole cells across host threads, each worker owning
+// the full simulator stack of the cell it is executing, and collects
+// results in submission order — so the output of a sweep is byte-identical
+// to the serial loop it replaces, independent of thread count or
+// scheduling. There is no work stealing and no shared simulation state;
+// the only cross-thread traffic is one atomic cell index.
+//
+// Thread count: explicit argument > VODSM_JOBS env var > hardware
+// concurrency. jobs <= 1 degrades to a plain serial loop on the calling
+// thread (the fallback path used by the determinism tests).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace vodsm::harness {
+
+// Worker count from the environment: VODSM_JOBS if set and positive, else
+// std::thread::hardware_concurrency(), never less than 1.
+int defaultJobs();
+
+// Resolves a requested job count: 0 means defaultJobs(); negatives clamp
+// to 1 (serial).
+int resolveJobs(int requested);
+
+// Core primitive: invoke task(i) for every i in [0, n), sharded across
+// `jobs` threads. Tasks must not share mutable state (each simulator cell
+// owns its engine). The first exception thrown by any task is rethrown on
+// the calling thread after all workers join.
+void runIndexed(int jobs, size_t n, const std::function<void(size_t)>& task);
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(int jobs = 0) : jobs_(resolveJobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  // Runs every thunk and returns the results in submission order.
+  template <typename R>
+  std::vector<R> run(const std::vector<std::function<R()>>& tasks) const {
+    std::vector<R> out(tasks.size());
+    runIndexed(jobs_, tasks.size(), [&](size_t i) { out[i] = tasks[i](); });
+    return out;
+  }
+
+  void forEach(size_t n, const std::function<void(size_t)>& task) const {
+    runIndexed(jobs_, n, task);
+  }
+
+ private:
+  int jobs_;
+};
+
+// One-shot convenience wrapper.
+template <typename R>
+std::vector<R> runAll(const std::vector<std::function<R()>>& tasks,
+                      int jobs = 0) {
+  return ParallelRunner(jobs).run(tasks);
+}
+
+}  // namespace vodsm::harness

@@ -7,25 +7,51 @@ namespace vodsm::mem {
 
 namespace {
 constexpr size_t kWord = 4;
+static_assert(kPageSize % 8 == 0, "64-bit scan assumes 8-byte-multiple pages");
 }
 
+// 64-bit twin comparison with run coalescing. Semantics are identical to
+// the original 4-byte-word memcmp scan (runs are maximal sequences of
+// differing 4-byte words), but the clean fast path — an unchanged 8-byte
+// block — is one XOR, and the per-word result falls out of the same XOR's
+// halves, so scanning a mostly-clean page touches each cache line once.
 Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin) {
   VODSM_CHECK(current.size() == kPageSize && twin.size() == kPageSize);
   Diff d(page);
-  size_t i = 0;
-  while (i < kPageSize) {
-    if (std::memcmp(current.data() + i, twin.data() + i, kWord) == 0) {
-      i += kWord;
+  const std::byte* cur = current.data();
+  const std::byte* tw = twin.data();
+
+  size_t run_start = kPageSize;  // kPageSize == no run open
+  auto flush = [&](size_t end) {
+    if (run_start == kPageSize) return;
+    d.runs_.push_back(Run{static_cast<uint16_t>(run_start),
+                          static_cast<uint16_t>(end - run_start)});
+    d.data_.insert(d.data_.end(), cur + run_start, cur + end);
+    run_start = kPageSize;
+  };
+
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, cur + i, 8);
+    std::memcpy(&b, tw + i, 8);
+    const uint64_t x = a ^ b;
+    if (x == 0) {
+      flush(i);
       continue;
     }
-    size_t start = i;
-    while (i < kPageSize &&
-           std::memcmp(current.data() + i, twin.data() + i, kWord) != 0)
-      i += kWord;
-    d.runs_.push_back(Run{static_cast<uint16_t>(start),
-                          static_cast<uint16_t>(i - start)});
-    d.data_.insert(d.data_.end(), current.begin() + start, current.begin() + i);
+    // Little-endian host (as assumed by support/bytes.hpp): the low 32 bits
+    // of the XOR cover bytes [i, i+4), the high 32 bits [i+4, i+8).
+    const bool lo = (x & 0xFFFFFFFFull) != 0;
+    const bool hi = (x >> 32) != 0;
+    if (lo) {
+      if (run_start == kPageSize) run_start = i;
+      if (!hi) flush(i + kWord);
+    } else {
+      flush(i);
+      if (hi) run_start = i + kWord;
+    }
   }
+  flush(kPageSize);
   return d;
 }
 
@@ -75,6 +101,7 @@ Diff Diff::integrate(const Diff& older, const Diff& newer) {
 }
 
 void Diff::serialize(Writer& w) const {
+  w.reserveMore(wireSize());
   w.u32(page_);
   w.u32(static_cast<uint32_t>(runs_.size()));
   for (const Run& r : runs_) {

@@ -130,7 +130,7 @@ void World::run(const Program& program) {
   std::exception_ptr first_error;
   for (int i = 0; i < opts_.nprocs; ++i) {
     Rank& rank = *ranks_[static_cast<size_t>(i)];
-    sim::spawn(program(rank),
+    sim::spawn(scope_, program(rank),
                [this, i, &rank, &finished, &first_error](std::exception_ptr e) {
                  finished[static_cast<size_t>(i)] = true;
                  if (e && !first_error) first_error = e;

@@ -95,6 +95,9 @@ class World {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   sim::Time finish_time_ = 0;
+  // Last member: rank frames abandoned by a deadlocked run must be reclaimed
+  // before the engine/network/ranks they reference go away.
+  sim::TaskScope scope_;
 };
 
 }  // namespace vodsm::msg

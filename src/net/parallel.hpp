@@ -25,15 +25,27 @@ inline sim::Task<std::vector<RpcResult>> requestAll(Endpoint& endpoint,
                                                     sim::Time earliest) {
   auto results = std::make_shared<std::vector<RpcResult>>(calls.size());
   sim::Countdown done(static_cast<int>(calls.size()));
+  // Declared after `done`: if this frame is destroyed while suspended (an
+  // abandoned run), the scope reclaims the in-flight RPC frames first,
+  // while `done` and `results` are still alive.
+  sim::TaskScope scope;
   for (size_t i = 0; i < calls.size(); ++i) {
+    // arrive() lives in the done callback, not the task body: the driver has
+    // deregistered from `scope` by then, so when the final arrival resumes
+    // (and ultimately destroys) this frame, the scope teardown cannot touch
+    // a frame that is still on the call stack.
     sim::spawn(
+        scope,
         [](Endpoint& ep, RpcCall call, sim::Time when,
-           std::shared_ptr<std::vector<RpcResult>> out, size_t slot,
-           sim::Countdown& counter) -> sim::Task<void> {
+           std::shared_ptr<std::vector<RpcResult>> out,
+           size_t slot) -> sim::Task<void> {
           (*out)[slot] = co_await ep.request(call.dst, call.type,
                                              std::move(call.payload), when);
-          counter.arrive();
-        }(endpoint, std::move(calls[i]), earliest, results, i, done));
+        }(endpoint, std::move(calls[i]), earliest, results, i),
+        [&done](std::exception_ptr e) {
+          if (e) std::rethrow_exception(e);
+          done.arrive();
+        });
   }
   co_await done;
   co_return *results;

@@ -117,7 +117,9 @@ class Endpoint {
     PendingRpc* p = pending.get();
     pending_rpcs_.emplace(seq, std::move(pending));
     if (dst == self_) {
-      sendLocal(Bytes(frame), earliest);
+      // Self-addressed requests are never retransmitted, so the frame can be
+      // moved straight into local delivery instead of copied.
+      sendLocal(std::move(frame), earliest);
     } else {
       countSend(payload.size());
       p->dst = dst;

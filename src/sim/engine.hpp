@@ -5,13 +5,18 @@
 // events at the same timestamp fire in scheduling order. The engine is
 // single-threaded; callbacks may schedule further events and resume
 // coroutines, which run to their next suspension point inline.
+//
+// Storage: callbacks live in a free-list pool of event nodes (reused across
+// the run, so steady-state scheduling allocates nothing), and the priority
+// queue orders plain {time, seq, slot} records — heap sifts move 24-byte
+// PODs instead of whole closures, and popping the top needs no const_cast.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 #include "support/check.hpp"
 
@@ -19,12 +24,22 @@ namespace vodsm::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   // Schedule `cb` at absolute time `t` (must be >= now()).
   void at(Time t, Callback cb) {
     VODSM_DCHECK(t >= now_);
-    queue_.push(Event{t, seq_++, std::move(cb)});
+    uint32_t slot;
+    if (free_head_ != kNone) {
+      slot = free_head_;
+      free_head_ = pool_[slot].next_free;
+      pool_[slot].cb = std::move(cb);
+    } else {
+      slot = static_cast<uint32_t>(pool_.size());
+      pool_.push_back(Node{std::move(cb), kNone});
+    }
+    heap_.push_back(Entry{t, seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   // Schedule `cb` `dt` after the engine's current time.
@@ -34,14 +49,19 @@ class Engine {
 
   // Run one event. Returns false if the queue is empty.
   bool step() {
-    if (queue_.empty() || stopped_) return false;
-    // The queue stores const refs through top(); move out via const_cast is
-    // avoided by copying the small struct's callback after pop bookkeeping.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    if (heap_.empty() || stopped_) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry ev = heap_.back();
+    heap_.pop_back();
     VODSM_DCHECK(ev.t >= now_);
     now_ = ev.t;
-    ev.cb();
+    // Move the callback out before running it: the callback may schedule
+    // new events, which may reuse (or reallocate) this node's slot.
+    Callback cb = std::move(pool_[ev.slot].cb);
+    pool_[ev.slot].cb.reset();
+    pool_[ev.slot].next_free = free_head_;
+    free_head_ = ev.slot;
+    cb();
     return true;
   }
 
@@ -57,26 +77,34 @@ class Engine {
   bool runBounded(uint64_t limit) {
     for (uint64_t n = 0; n < limit; ++n)
       if (!step()) return true;
-    return queue_.empty();
+    return heap_.empty();
   }
 
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  struct Node {
+    Callback cb;
+    uint32_t next_free = kNone;
+  };
+  struct Entry {
     Time t;
     uint64_t seq;
-    Callback cb;
+    uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Entry> heap_;
+  std::vector<Node> pool_;
+  uint32_t free_head_ = kNone;
   Time now_ = 0;
   uint64_t seq_ = 0;
   bool stopped_ = false;

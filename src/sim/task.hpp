@@ -12,10 +12,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -159,12 +161,73 @@ class [[nodiscard]] Task<void> {
   Handle h_{};
 };
 
+// Owner for detached task frames. A frame spawned into a scope deregisters
+// itself when it finishes; any frame still suspended when the scope is
+// destroyed (a deadlocked or otherwise abandoned run) is destroyed with it,
+// which cascades through every child frame the task was awaiting. The scope
+// must outlive nothing the suspended frames reference — declare it as the
+// last member of the object that owns the engine and runtimes.
+class TaskScope {
+ public:
+  TaskScope() = default;
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+  ~TaskScope() { cancelAll(); }
+
+  // Destroy every still-suspended spawned frame. Idempotent. Must not be
+  // called while the engine may still resume one of these frames.
+  void cancelAll() {
+    // Null the slot before destroy(): frame teardown runs the promise
+    // destructor, which deregisters itself through this same vector.
+    for (size_t i = 0; i < live_.size(); ++i) {
+      std::coroutine_handle<> h = std::exchange(live_[i], nullptr);
+      if (h) h.destroy();
+    }
+    live_.clear();
+  }
+
+  size_t liveCount() const {
+    size_t n = 0;
+    for (auto h : live_) n += h != nullptr;
+    return n;
+  }
+
+  // Registration interface for the spawn driver promise; not for users.
+  size_t add(std::coroutine_handle<> h) {
+    live_.push_back(h);
+    return live_.size() - 1;
+  }
+  void remove(size_t slot) { live_[slot] = nullptr; }
+
+ private:
+  std::vector<std::coroutine_handle<>> live_;
+};
+
 namespace detail {
 
 // Self-destroying driver coroutine for detached tasks. initial/final suspend
 // never suspend, so the frame is freed as soon as the driven task finishes.
+// The promise constructor mirrors drive()'s parameters: when a TaskScope is
+// supplied, the frame registers on start and deregisters in the promise
+// destructor (which also runs on TaskScope::cancelAll's destroy()).
 struct Detached {
   struct promise_type {
+    TaskScope* scope_ = nullptr;
+    size_t slot_ = 0;
+
+    promise_type(TaskScope* scope, Task<void>&,
+                 std::function<void(std::exception_ptr)>&)
+        : scope_(scope) {
+      if (scope_)
+        slot_ = scope_->add(
+            std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    ~promise_type() { release(); }
+
+    void release() {
+      if (scope_) std::exchange(scope_, nullptr)->remove(slot_);
+    }
+
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -173,27 +236,55 @@ struct Detached {
   };
 };
 
-inline Detached drive(Task<void> t,
+// Non-suspending awaitable that deregisters the driver from its TaskScope.
+struct DeregisterSelf {
+  bool await_ready() noexcept { return false; }
+  bool await_suspend(
+      std::coroutine_handle<Detached::promise_type> h) noexcept {
+    h.promise().release();
+    return false;
+  }
+  void await_resume() noexcept {}
+};
+
+inline Detached drive(TaskScope* scope, Task<void> t,
                       std::function<void(std::exception_ptr)> done) {
+  (void)scope;  // consumed by the promise constructor
   std::exception_ptr err;
   try {
     co_await std::move(t);
   } catch (...) {
     err = std::current_exception();
   }
+  // Deregister before done(): done may resume a continuation that destroys
+  // the scope while this frame is still running, and a scope teardown must
+  // never destroy() a frame that is on the call stack.
+  co_await DeregisterSelf{};
   done(err);
 }
 
 }  // namespace detail
 
 // Start `t` detached. `done` is invoked when the task finishes, with the
-// escaped exception (if any). The task frame is owned by the driver.
+// escaped exception (if any). The task frame is owned by the driver; if the
+// engine drains while the task is still suspended, the frame is unreachable
+// and leaks — prefer the TaskScope overload for tasks that can deadlock.
 inline void spawn(Task<void> t,
                   std::function<void(std::exception_ptr)> done =
                       [](std::exception_ptr e) {
                         if (e) std::rethrow_exception(e);
                       }) {
-  detail::drive(std::move(t), std::move(done));
+  detail::drive(nullptr, std::move(t), std::move(done));
+}
+
+// Start `t` detached under `scope`: frames abandoned mid-suspension (e.g.
+// the run was declared deadlocked) are reclaimed when the scope is destroyed.
+inline void spawn(TaskScope& scope, Task<void> t,
+                  std::function<void(std::exception_ptr)> done =
+                      [](std::exception_ptr e) {
+                        if (e) std::rethrow_exception(e);
+                      }) {
+  detail::drive(&scope, std::move(t), std::move(done));
 }
 
 }  // namespace vodsm::sim

@@ -37,6 +37,10 @@ class Writer {
   }
   void bytes(ByteSpan b) { appendRaw(b.data(), b.size()); }
 
+  // Pre-size for `n` further bytes so hot serialization paths (diff-heavy
+  // messages) append without intermediate reallocations.
+  void reserveMore(size_t n) { buf_.reserve(buf_.size() + n); }
+
   // Length-prefixed byte range.
   void blob(ByteSpan b) {
     u32(static_cast<uint32_t>(b.size()));

@@ -41,7 +41,7 @@ void Cluster::run(const Program& program) {
   std::exception_ptr first_error;
   for (int i = 0; i < opts_.nprocs; ++i) {
     Node& node = *nodes_[static_cast<size_t>(i)];
-    sim::spawn(program(node),
+    sim::spawn(scope_, program(node),
                [this, i, &finished, &first_error](std::exception_ptr e) {
                  finished[static_cast<size_t>(i)] = true;
                  if (e && !first_error) first_error = e;

@@ -227,6 +227,9 @@ class Cluster {
   std::vector<std::unique_ptr<dsm::Runtime>> runtimes_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::Time finish_time_ = 0;
+  // Last member: node-program frames abandoned by a deadlocked run must be
+  // reclaimed before the engine/network/runtimes they reference go away.
+  sim::TaskScope scope_;
 };
 
 }  // namespace vodsm::vopp

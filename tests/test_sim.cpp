@@ -140,6 +140,48 @@ TEST(Task, ExceptionPropagatesToSpawnCallback) {
   EXPECT_EQ(message, "boom");
 }
 
+TEST(TaskScope, CompletedTasksDeregister) {
+  TaskScope scope;
+  int result = 0;
+  spawn(scope,
+        [](int& out) -> Task<void> { out = co_await addOne(answer()); }(result));
+  EXPECT_EQ(result, 43);
+  EXPECT_EQ(scope.liveCount(), 0u);
+}
+
+// A frame suspended forever (the deadlock shape: engine drained, task still
+// waiting) must be reclaimed by its scope, including awaited child frames —
+// this is what keeps abandoned runs leak-free under LeakSanitizer.
+TEST(TaskScope, ReclaimsSuspendedFramesWithChildren) {
+  Waiter<void> never;
+  bool finished = false;
+  {
+    TaskScope scope;
+    spawn(
+        scope,
+        [](Waiter<void>& w) -> Task<void> {
+          co_await [](Waiter<void>& inner) -> Task<void> {
+            co_await inner;  // never fulfilled
+          }(w);
+        }(never),
+        [&](std::exception_ptr) { finished = true; });
+    EXPECT_EQ(scope.liveCount(), 1u);
+  }  // scope destroys the suspended driver + task + child frames
+  EXPECT_FALSE(finished);  // destroyed, not resumed: done never fires
+  EXPECT_FALSE(never.ready());
+}
+
+TEST(TaskScope, CancelAllIsIdempotent) {
+  Waiter<void> never;
+  TaskScope scope;
+  spawn(scope, [](Waiter<void>& w) -> Task<void> { co_await w; }(never));
+  scope.cancelAll();
+  EXPECT_EQ(scope.liveCount(), 0u);
+  scope.cancelAll();
+  spawn(scope, []() -> Task<void> { co_return; }());
+  EXPECT_EQ(scope.liveCount(), 0u);
+}
+
 TEST(Waiter, FulfillBeforeAwaitDoesNotSuspend) {
   Waiter<int> w;
   w.fulfill(9);

@@ -4,8 +4,10 @@
 // seeds. This is the suite most likely to shake out protocol races.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 
+#include "harness/parallel_runner.hpp"
 #include "sim/rng.hpp"
 #include "vopp/cluster.hpp"
 
@@ -30,13 +32,21 @@ std::string stressName(const ::testing::TestParamInfo<StressCase>& info) {
 // adding deterministic pseudo-random amounts to a pseudo-random subset of
 // views under exclusive acquires, with a barrier per round. Addition
 // commutes, so the expected totals are independent of acquisition order.
-class LedgerStress : public ::testing::TestWithParam<StressCase> {};
+constexpr int kLedgerViews = 7;
+constexpr int kLedgerCounters = 96;  // crosses a page boundary
 
-TEST_P(LedgerStress, TotalsMatchExpectation) {
-  const auto& param = GetParam();
-  constexpr int kViews = 7;
+struct LedgerOutcome {
+  std::vector<std::vector<int64_t>> totals;    // observed, per view
+  std::vector<std::vector<int64_t>> expected;  // analytic, per view
+};
+
+// Whole ledger workload as a pure function of its case: builds its own
+// cluster (engine, network, runtimes), so concurrent invocations share
+// nothing — the shape the parallel experiment runner requires.
+LedgerOutcome runLedger(const StressCase& param) {
+  constexpr int kViews = kLedgerViews;
   constexpr int kRounds = 6;
-  constexpr int kCountersPerView = 96;  // crosses a page boundary
+  constexpr int kCountersPerView = kLedgerCounters;
 
   vopp::Cluster cluster({.nprocs = param.nprocs,
                          .protocol = param.proto,
@@ -90,13 +100,26 @@ TEST_P(LedgerStress, TotalsMatchExpectation) {
     co_await node.barrier();
   });
 
+  LedgerOutcome out;
+  out.expected = expect;
   for (int v = 0; v < kViews; ++v) {
     size_t off = cluster.viewOffset(views[static_cast<size_t>(v)]);
     auto raw = cluster.memoryOf(0, off, kCountersPerView * 8);
     std::vector<int64_t> got(kCountersPerView);
     std::memcpy(got.data(), raw.data(), raw.size());
-    EXPECT_EQ(got, expect[static_cast<size_t>(v)]) << "view " << v;
+    out.totals.push_back(std::move(got));
   }
+  return out;
+}
+
+class LedgerStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(LedgerStress, TotalsMatchExpectation) {
+  LedgerOutcome out = runLedger(GetParam());
+  for (int v = 0; v < kLedgerViews; ++v)
+    EXPECT_EQ(out.totals[static_cast<size_t>(v)],
+              out.expected[static_cast<size_t>(v)])
+        << "view " << v;
 }
 
 // Mixed readers and writers: writers bump a generation counter; readers
@@ -162,6 +185,28 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LedgerStress, ::testing::ValuesIn(kCases),
                          stressName);
 INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyStress, ::testing::ValuesIn(kCases),
                          stressName);
+
+// The same sweep through the parallel experiment runner: all cases execute
+// concurrently across host threads (each owns its own cluster), and every
+// outcome must match both the analytic expectation and a serial rerun —
+// the end-to-end proof that simulation results are independent of host
+// scheduling.
+TEST(ParallelLedgerSweep, MatchesExpectationAndSerialRun) {
+  std::vector<std::function<LedgerOutcome()>> tasks;
+  for (const StressCase& c : kCases) tasks.push_back([c] { return runLedger(c); });
+
+  auto parallel = harness::runAll(tasks, /*jobs=*/0);  // env/core default
+  auto serial = harness::runAll(tasks, /*jobs=*/1);
+
+  ASSERT_EQ(parallel.size(), std::size(kCases));
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].totals, parallel[i].expected)
+        << dsm::protocolName(kCases[i].proto) << " " << kCases[i].nprocs
+        << "p seed " << kCases[i].seed;
+    EXPECT_EQ(parallel[i].totals, serial[i].totals)
+        << "parallel vs serial divergence in case " << i;
+  }
+}
 
 // Lossy-network stress: the same ledger workload must stay correct when
 // the wire drops 2% of frames (exercising retransmission paths end to end).
