@@ -25,6 +25,11 @@ struct Options {
   int jobs = 0;
   // When nonempty, append this run's machine-readable record there.
   std::string json;
+  // Trace every cell and report per-run time breakdowns (stdout tables for
+  // the per-table binaries, per-cell JSON fields everywhere). Each cell owns
+  // its recorder, so the parallel sweep stays thread-safe; tracing never
+  // charges simulated time, so all sim results are unchanged.
+  bool breakdown = false;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
 };
@@ -45,6 +50,7 @@ inline Options parseArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--full") o.full = true;
+    else if (a == "--breakdown") o.breakdown = true;
     else if (a == "--compare-serial") o.compare_serial = true;
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
@@ -52,7 +58,7 @@ inline Options parseArgs(int argc, char** argv) {
     else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
-                   " [--compare-serial]\n";
+                   " [--breakdown] [--compare-serial]\n";
       std::exit(2);
     }
   }

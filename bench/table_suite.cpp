@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   auto opts = bench::parseArgs(argc, argv);
   if (opts.json.empty()) opts.json = "BENCH_tables.json";
+  // The suite always traces: BENCH_tables.json carries a per-cell time
+  // breakdown, and tracing cannot perturb the simulated results.
+  opts.breakdown = true;
   const int jobs = harness::resolveJobs(opts.jobs);
 
   auto specs = bench::allTableSpecs(opts);

@@ -7,6 +7,9 @@
 
 #include "bench/paper_params.hpp"
 #include "harness/parallel_runner.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
 
 namespace vodsm::bench {
 
@@ -29,76 +32,120 @@ std::string cellId(const std::string& app, const std::string& impl,
 
 // --- cell builders: one per (app, variant) pair -------------------------
 
+// Runs one cell, tracing it through a cell-local recorder when requested.
+// The recorder lives only for the run; the folded breakdown travels out by
+// value inside RunResult, and per-cell ownership keeps the parallel sweep
+// free of shared mutable state.
+template <typename RunFn>
+RunResult runCell(bool traced, harness::RunConfig cfg, RunFn&& run) {
+  obs::TraceRecorder rec;
+  if (traced) cfg.trace = &rec;
+  return run(cfg);
+}
+
 Cell isCell(const Options& o, const std::string& impl, Protocol proto,
             IsVariant variant, int procs) {
   auto params = isParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("IS", impl, procs), [=] {
-                return apps::runIs(baseConfig(proto, procs), params, variant)
-                    .result;
+                return runCell(traced, baseConfig(proto, procs),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runIs(cfg, params, variant)
+                                     .result;
+                               });
               }};
 }
 
 Cell isSeqCell(const Options& o) {
   auto params = isParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("IS", "seq", 1), [=] {
-                return apps::runIs(sequentialConfig(), params,
-                                   IsVariant::kTraditional)
-                    .result;
+                return runCell(traced, sequentialConfig(),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runIs(cfg, params,
+                                                    IsVariant::kTraditional)
+                                     .result;
+                               });
               }};
 }
 
 Cell gaussCell(const Options& o, const std::string& impl, Protocol proto,
                GaussVariant variant, int procs) {
   auto params = gaussParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("Gauss", impl, procs), [=] {
-                return apps::runGauss(baseConfig(proto, procs), params,
-                                      variant)
-                    .result;
+                return runCell(traced, baseConfig(proto, procs),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runGauss(cfg, params, variant)
+                                     .result;
+                               });
               }};
 }
 
 Cell gaussSeqCell(const Options& o) {
   auto params = gaussParams(o.full);
-  return Cell{cellId("Gauss", "seq", 1), [=] {
-                return apps::runGauss(sequentialConfig(), params,
-                                      GaussVariant::kTraditional)
-                    .result;
+  const bool traced = o.breakdown;
+  return Cell{cellId("Gauss", "seq", 1),
+              [=] {
+                return runCell(traced, sequentialConfig(),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runGauss(
+                                            cfg, params,
+                                            GaussVariant::kTraditional)
+                                     .result;
+                               });
               }};
 }
 
 Cell sorCell(const Options& o, const std::string& impl, Protocol proto,
              SorVariant variant, int procs) {
   auto params = sorParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("SOR", impl, procs), [=] {
-                return apps::runSor(baseConfig(proto, procs), params, variant)
-                    .result;
+                return runCell(traced, baseConfig(proto, procs),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runSor(cfg, params, variant)
+                                     .result;
+                               });
               }};
 }
 
 Cell sorSeqCell(const Options& o) {
   auto params = sorParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("SOR", "seq", 1), [=] {
-                return apps::runSor(sequentialConfig(), params,
-                                    SorVariant::kTraditional)
-                    .result;
+                return runCell(traced, sequentialConfig(),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runSor(cfg, params,
+                                                     SorVariant::kTraditional)
+                                     .result;
+                               });
               }};
 }
 
 Cell nnCell(const Options& o, const std::string& impl, Protocol proto,
             NnVariant variant, int procs) {
   auto params = nnParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("NN", impl, procs), [=] {
-                return apps::runNn(baseConfig(proto, procs), params, variant)
-                    .result;
+                return runCell(traced, baseConfig(proto, procs),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runNn(cfg, params, variant)
+                                     .result;
+                               });
               }};
 }
 
 Cell nnSeqCell(const Options& o) {
   auto params = nnParams(o.full);
+  const bool traced = o.breakdown;
   return Cell{cellId("NN", "seq", 1), [=] {
-                return apps::runNn(sequentialConfig(), params,
-                                   NnVariant::kTraditional)
-                    .result;
+                return runCell(traced, sequentialConfig(),
+                               [&](const harness::RunConfig& cfg) {
+                                 return apps::runNn(cfg, params,
+                                                    NnVariant::kTraditional)
+                                     .result;
+                               });
               }};
 }
 
@@ -307,6 +354,7 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
   os << "{\n";
   os << "  \"suite\": \"paper_tables\",\n";
   os << "  \"full\": " << (o.full ? "true" : "false") << ",\n";
+  os << "  \"breakdown\": " << (o.breakdown ? "true" : "false") << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"cells\": " << n_cells << ",\n";
   os << "  \"wall_seconds\": " << wall_seconds << ",\n";
@@ -326,8 +374,17 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
          << "\", \"sim_seconds\": " << r.seconds
          << ", \"host_seconds\": " << runs[s].cell_host_seconds[i]
          << ", \"messages\": " << r.net.messages
-         << ", \"payload_bytes\": " << r.net.payload_bytes << "}"
-         << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
+         << ", \"payload_bytes\": " << r.net.payload_bytes;
+      if (r.breakdown.enabled()) {
+        const obs::BucketSet& b = r.breakdown.aggregate;
+        os << ", \"breakdown_seconds\": {\"compute\": "
+           << sim::toSeconds(b.compute)
+           << ", \"barrier_wait\": " << sim::toSeconds(b.barrier_wait)
+           << ", \"acquire_wait\": " << sim::toSeconds(b.acquire_wait)
+           << ", \"fault_diff\": " << sim::toSeconds(b.fault_diff)
+           << ", \"idle\": " << sim::toSeconds(b.idle) << "}";
+      }
+      os << "}" << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
     }
     os << "    ]}" << (s + 1 < specs.size() ? "," : "") << "\n";
   }
@@ -337,6 +394,12 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
 int tableMain(const TableSpec& spec, const Options& o) {
   SpecRun run = runSpec(spec, o.jobs);
   spec.print(std::cout, run.results);
+  if (o.breakdown) {
+    for (size_t i = 0; i < spec.cells.size(); ++i)
+      if (run.results[i].breakdown.enabled())
+        obs::printBreakdown(std::cout, run.results[i].breakdown,
+                            "Time breakdown: " + spec.cells[i].id);
+  }
   if (!o.json.empty()) {
     std::ofstream f(o.json);
     if (!f) {

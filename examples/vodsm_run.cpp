@@ -11,6 +11,8 @@
 // Every run is checked against the serial reference; the tool exits
 // non-zero on mismatch.
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -18,6 +20,9 @@
 #include "apps/is.hpp"
 #include "apps/nn.hpp"
 #include "apps/sor.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/perfetto.hpp"
+#include "support/table.hpp"
 
 using namespace vodsm;
 
@@ -31,6 +36,9 @@ namespace {
       "  --variant=vopp|traditional|vopp_lb (default vopp)\n"
       "  --procs=N       processors (default 16)\n"
       "  --seed=N        simulation seed (default 42)\n"
+      "  --trace=FILE    write a Chrome/Perfetto trace of the run\n"
+      "  --breakdown     print per-node simulated-time breakdown\n"
+      "  --netstats      print per-message-kind traffic breakdown\n"
       "  IS:    --keys=N --buckets=N --iters=N\n"
       "  Gauss: --n=N\n"
       "  SOR:   --rows=N --cols=N --iters=N\n"
@@ -71,15 +79,33 @@ void printResult(const std::string& title, const harness::RunResult& r,
   std::printf("  Result               %10s\n", ok ? "ok" : "MISMATCH");
 }
 
+void printNetKinds(const net::NetStats& s) {
+  std::printf("\nPer-kind traffic\n");
+  TextTable t;
+  t.header({"kind", "messages", "payload (KB)", "rexmit"});
+  for (int k = 0; k < net::kMsgClassCount; ++k) {
+    const net::KindStats& ks = s.kind[k];
+    if (ks.messages == 0 && ks.retransmissions == 0) continue;
+    t.rowv(net::kMsgClassName[k], ks.messages,
+           static_cast<double>(ks.payload_bytes) / 1000.0,
+           ks.retransmissions);
+  }
+  t.rowv("acks", s.acks, 0.0, uint64_t{0});
+  t.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) usage(argv[0]);
     auto eq = a.find('=');
-    if (a.rfind("--", 0) != 0 || eq == std::string::npos) usage(argv[0]);
-    args.kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    if (eq == std::string::npos)
+      args.kv[a.substr(2)] = "1";  // bare flag (--breakdown, --netstats)
+    else
+      args.kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
   }
   const std::string app = args.get("app", "");
   const std::string runtime = args.get("runtime", "vc_sd");
@@ -88,6 +114,11 @@ int main(int argc, char** argv) {
   harness::RunConfig cfg;
   cfg.nprocs = static_cast<int>(args.num("procs", 16));
   cfg.seed = args.num("seed", 42);
+  const std::string trace_path = args.get("trace", "");
+  const bool want_breakdown = args.kv.count("breakdown") > 0;
+  const bool want_netstats = args.kv.count("netstats") > 0;
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty() || want_breakdown) cfg.trace = &recorder;
   if (runtime == "lrc_d") cfg.protocol = dsm::Protocol::kLrcDiff;
   else if (runtime == "vc_d") cfg.protocol = dsm::Protocol::kVcDiff;
   else if (runtime == "vc_sd" || runtime == "mpi")
@@ -96,6 +127,8 @@ int main(int argc, char** argv) {
 
   const std::string title = app + " on " + runtime + " (" + variant + "), " +
                             std::to_string(cfg.nprocs) + " processors";
+  harness::RunResult result;
+  bool ok = false;
   try {
     if (app == "is") {
       apps::IsParams p;
@@ -106,16 +139,16 @@ int main(int argc, char** argv) {
                : variant == "vopp_lb"   ? apps::IsVariant::kVoppFewerBarriers
                                         : apps::IsVariant::kVopp;
       auto run = apps::runIs(cfg, p, v);
-      printResult(title, run.result,
-                  run.rank_sums == apps::isSerialRankSums(p, cfg.nprocs));
+      result = run.result;
+      ok = run.rank_sums == apps::isSerialRankSums(p, cfg.nprocs);
     } else if (app == "gauss") {
       apps::GaussParams p;
       p.n = args.num("n", 448);
       auto v = variant == "traditional" ? apps::GaussVariant::kTraditional
                                         : apps::GaussVariant::kVopp;
       auto run = apps::runGauss(cfg, p, v);
-      printResult(title, run.result,
-                  run.checksum == apps::gaussSerialChecksum(p));
+      result = run.result;
+      ok = run.checksum == apps::gaussSerialChecksum(p);
     } else if (app == "sor") {
       apps::SorParams p;
       p.rows = args.num("rows", 512);
@@ -124,8 +157,8 @@ int main(int argc, char** argv) {
       auto v = variant == "traditional" ? apps::SorVariant::kTraditional
                                         : apps::SorVariant::kVopp;
       auto run = apps::runSor(cfg, p, v);
-      printResult(title, run.result,
-                  run.checksum == apps::sorSerialChecksum(p));
+      result = run.result;
+      ok = run.checksum == apps::sorSerialChecksum(p);
     } else if (app == "nn") {
       apps::NnParams p;
       p.samples = args.num("samples", 512);
@@ -135,8 +168,8 @@ int main(int argc, char** argv) {
                : variant == "traditional" ? apps::NnVariant::kTraditional
                                           : apps::NnVariant::kVopp;
       auto run = apps::runNn(cfg, p, v);
-      printResult(title, run.result,
-                  run.checksum == apps::nnSerialChecksum(p, cfg.nprocs));
+      result = run.result;
+      ok = run.checksum == apps::nnSerialChecksum(p, cfg.nprocs);
     } else {
       usage(argv[0]);
     }
@@ -144,5 +177,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+
+  printResult(title, result, ok);
+  if (want_netstats) printNetKinds(result.net);
+  if (want_breakdown && result.breakdown.enabled())
+    obs::printBreakdown(std::cout, result.breakdown, "Time breakdown");
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::writeChromeTrace(os, recorder);
+    std::printf("\ntrace: %zu events -> %s\n", recorder.size(),
+                trace_path.c_str());
+  }
+  return ok ? 0 : 1;
 }

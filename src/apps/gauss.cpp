@@ -223,7 +223,8 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
-                         .seed = config.seed});
+                         .seed = config.seed,
+                         .trace = config.trace});
   GaussLayout lay;
   const size_t n = params.n;
   const size_t row_bytes = n * sizeof(double);
@@ -251,6 +252,7 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
   out.result.seconds = cluster.seconds();
   out.result.dsm = cluster.dsmStats();
   out.result.net = cluster.netStats();
+  out.result.breakdown = cluster.breakdown();
   auto raw = cluster.memoryOf(0, lay.result_off, 8);
   std::memcpy(&out.checksum, raw.data(), 8);
   return out;

@@ -294,7 +294,8 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
-                         .seed = config.seed});
+                         .seed = config.seed,
+                         .trace = config.trace});
   IsLayout lay =
       buildLayout(cluster, params, variant != IsVariant::kTraditional);
   cluster.run([&](vopp::Node& node) -> sim::Task<void> {
@@ -305,6 +306,7 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
   out.result.seconds = cluster.seconds();
   out.result.dsm = cluster.dsmStats();
   out.result.net = cluster.netStats();
+  out.result.breakdown = cluster.breakdown();
   out.rank_sums.resize(static_cast<size_t>(config.nprocs));
   auto raw = cluster.memoryOf(0, lay.result_off,
                               static_cast<size_t>(config.nprocs) * 8);

@@ -380,7 +380,8 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
-                         .seed = config.seed});
+                         .seed = config.seed,
+                         .trace = config.trace});
   NnLayout lay;
   Net net{params.inputs, params.hidden, params.outputs};
   lay.nw = net.weightCount();
@@ -407,6 +408,7 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
   out.result.seconds = cluster.seconds();
   out.result.dsm = cluster.dsmStats();
   out.result.net = cluster.netStats();
+  out.result.breakdown = cluster.breakdown();
   auto raw = cluster.memoryOf(0, lay.result_off, 8);
   std::memcpy(&out.checksum, raw.data(), 8);
   return out;

@@ -272,7 +272,8 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
-                         .seed = config.seed});
+                         .seed = config.seed,
+                         .trace = config.trace});
   SorLayout lay;
   const size_t row_bytes = params.cols * sizeof(double);
   if (variant == SorVariant::kVopp) {
@@ -304,6 +305,7 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
   out.result.seconds = cluster.seconds();
   out.result.dsm = cluster.dsmStats();
   out.result.net = cluster.netStats();
+  out.result.breakdown = cluster.breakdown();
   auto raw = cluster.memoryOf(0, lay.result_off, 8);
   std::memcpy(&out.checksum, raw.data(), 8);
   return out;

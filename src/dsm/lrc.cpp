@@ -67,6 +67,7 @@ sim::Task<void> LrcRuntime::acquireLock(LockId l) {
                   "lock " << l << " acquired while already held/waited on");
   ctx_.stats.acquires++;
   const sim::Time t0 = ctx_.clock.now();
+  if (auto* t = ctx_.trace) t->begin(ctx_.id, obs::Cat::kAcquireWait, t0, l);
   st.waiting = true;
   auto waiter = std::make_unique<sim::Waiter<LockGrantMsg>>();
   auto* waiter_ptr = waiter.get();
@@ -79,6 +80,8 @@ sim::Task<void> LrcRuntime::acquireLock(LockId l) {
   vc_.merge(g.grantor_vc);
   st.waiting = false;
   st.held = true;
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kAcquireWait, ctx_.clock.now(), l);
   ctx_.stats.acquire_wait_total += ctx_.clock.now() - t0;
   ctx_.stats.acquire_waits++;
 }
@@ -142,6 +145,8 @@ void LrcRuntime::sendGrant(const LockAcqMsg& req, sim::Time when) {
   g.lock = req.lock;
   g.grantor_vc = vc_;
   g.intervals = intervalsNotCoveredBy(req.vc);
+  if (auto* t = ctx_.trace)
+    t->instant(ctx_.id, obs::Cat::kGrant, when, req.lock, req.requester);
   ctx_.endpoint.post(req.requester, kLockGrant, g.encode(), when);
 }
 
@@ -165,6 +170,8 @@ void LrcRuntime::recordForeignInterval(const mem::Interval& iv) {
   for (mem::PageId p : iv.pages) {
     ctx_.stats.notices_recorded++;
     ctx_.clock.charge(ctx_.costs.apply_notice);
+    if (auto* t = ctx_.trace)
+      t->instant(ctx_.id, obs::Cat::kNotice, ctx_.clock.now(), p, iv.node);
     pending_[p].push_back(mem::WriteNotice{iv.node, iv.index});
     // Invalidate; a local twin (concurrent false-sharing writes) survives so
     // the fault can merge foreign diffs under our uncommitted changes.
@@ -175,11 +182,15 @@ void LrcRuntime::recordForeignInterval(const mem::Interval& iv) {
 
 void LrcRuntime::closeInterval() {
   if (dirty_.empty()) return;
+  if (auto* t = ctx_.trace)
+    t->begin(ctx_.id, obs::Cat::kDiffCreate, ctx_.clock.now());
   std::vector<mem::PageId> pages;
   std::vector<mem::Diff> diffs;
+  uint64_t diff_bytes = 0;
   for (mem::PageId p : dirty_) {
     mem::Diff d = ctx_.store.diffAgainstTwin(p);
     ctx_.clock.charge(ctx_.costs.diffCreate(d.wireSize()));
+    diff_bytes += d.wireSize();
     ctx_.store.dropTwin(p);
     if (ctx_.store.access(p) == mem::Access::kWrite)
       ctx_.store.setAccess(p, mem::Access::kRead);
@@ -188,6 +199,9 @@ void LrcRuntime::closeInterval() {
     pages.push_back(p);
     diffs.push_back(std::move(d));
   }
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kDiffCreate, ctx_.clock.now(), dirty_.size(),
+           diff_bytes);
   dirty_.clear();
   if (pages.empty()) return;
   const uint32_t idx = ++vc_[ctx_.id];
@@ -263,6 +277,9 @@ sim::Task<void> LrcRuntime::readFault(mem::PageId p) {
     f.diff.apply(ctx_.store.page(p));
     ctx_.clock.charge(ctx_.costs.diffApply(f.diff.wireSize()));
     ctx_.stats.diffs_applied++;
+    if (auto* t = ctx_.trace)
+      t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), p,
+                 f.diff.wireSize());
   }
   pending_.erase(p);
   ctx_.store.setAccess(p, ctx_.store.hasTwin(p) ? mem::Access::kWrite
@@ -297,6 +314,7 @@ sim::Task<void> LrcRuntime::barrier(BarrierId b) {
   arrive_msg.node = ctx_.id;
   arrive_msg.intervals = intervalsNotCoveredBy(last_barrier_vc_);
   const sim::Time t0 = ctx_.clock.now();
+  if (auto* t = ctx_.trace) t->begin(ctx_.id, obs::Cat::kBarrierWait, t0, b);
   auto waiter = std::make_unique<sim::Waiter<BarrReleaseMsg>>();
   auto* waiter_ptr = waiter.get();
   VODSM_CHECK_MSG(!barrier_waiters_.count(b),
@@ -308,6 +326,8 @@ sim::Task<void> LrcRuntime::barrier(BarrierId b) {
   barrier_waiters_.erase(b);
   for (const auto& iv : rel.intervals) recordForeignInterval(iv);
   last_barrier_vc_ = vc_;
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kBarrierWait, ctx_.clock.now(), b);
   ctx_.stats.barrier_wait_total += ctx_.clock.now() - t0;
   ctx_.stats.barrier_waits++;
 }
@@ -325,6 +345,9 @@ void LrcRuntime::onBarrArrive(const BarrArriveMsg& m, sim::Time arrive) {
   st.busy_until = std::max(st.busy_until, arrive) + ctx_.costs.barrier_fold +
                   ctx_.costs.barrier_per_notice *
                       static_cast<sim::Time>(notice_count);
+  if (auto* t = ctx_.trace)
+    t->instant(ctx_.id, obs::Cat::kBarrFold, st.busy_until, m.barrier,
+               notice_count);
   st.arrived++;
   if (st.arrived < ctx_.nprocs) return;
 

@@ -9,6 +9,7 @@
 #include "dsm/types.hpp"
 #include "mem/diff.hpp"
 #include "mem/write_notice.hpp"
+#include "net/stats.hpp"
 #include "support/bytes.hpp"
 
 namespace vodsm::dsm {
@@ -36,6 +37,30 @@ enum MsgType : uint16_t {
   // MPI-like point-to-point payloads (msg library).
   kMsgData = 64,
 };
+
+// Maps DSM message types onto the transport's traffic classes; installed on
+// each endpoint so NetStats can attribute messages and retransmissions per
+// kind.
+inline net::MsgClass classifyMsg(uint16_t type) {
+  switch (type) {
+    case kLockAcq:
+    case kLockAuth:
+    case kViewAcq: return net::MsgClass::kAcquire;
+    case kLockGrant:
+    case kViewGrant: return net::MsgClass::kGrant;
+    case kLockRelease:
+    case kViewRelease:
+    case kViewReadRelease: return net::MsgClass::kRelease;
+    case kDiffReq:
+    case kVcDiffReq: return net::MsgClass::kDiffRequest;
+    case kDiffResp:
+    case kVcDiffResp: return net::MsgClass::kDiffReply;
+    case kBarrArrive:
+    case kBarrRelease: return net::MsgClass::kBarrier;
+    case kMsgData: return net::MsgClass::kData;
+    default: return net::MsgClass::kOther;
+  }
+}
 
 // ---- LRC payloads ----
 

@@ -6,10 +6,12 @@
 
 #include <memory>
 
+#include "dsm/msgs.hpp"
 #include "dsm/types.hpp"
 #include "dsm/view_map.hpp"
 #include "mem/page_store.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -20,14 +22,19 @@ namespace vodsm::dsm {
 // runtime and the application environment.
 struct NodeCtx {
   NodeCtx(NodeId id_, int nprocs_, sim::Engine& engine_, net::Network& network,
-          const ViewMap& views_, const DsmCosts& costs_)
+          const ViewMap& views_, const DsmCosts& costs_,
+          obs::TraceRecorder* trace_ = nullptr)
       : id(id_),
         nprocs(nprocs_),
         engine(engine_),
         endpoint(engine_, network, id_),
         store(views_.heapBytes()),
         views(views_),
-        costs(costs_) {}
+        costs(costs_),
+        trace(trace_) {
+    endpoint.setClassifier(&classifyMsg);
+    endpoint.setTrace(trace);
+  }
 
   NodeId id;
   int nprocs;
@@ -38,6 +45,7 @@ struct NodeCtx {
   const ViewMap& views;
   DsmCosts costs;
   DsmStats stats;
+  obs::TraceRecorder* trace;  // null when tracing is off
 };
 
 class Runtime {
@@ -70,8 +78,12 @@ class Runtime {
     for (mem::PageId p = first; p <= last; ++p) {
       if (ctx_.store.access(p) == mem::Access::kNone) {
         ctx_.stats.page_faults++;
+        if (auto* t = ctx_.trace)
+          t->begin(ctx_.id, obs::Cat::kFault, ctx_.clock.now(), p);
         ctx_.clock.charge(ctx_.costs.page_fault);
         co_await readFault(p);
+        if (auto* t = ctx_.trace)
+          t->end(ctx_.id, obs::Cat::kFault, ctx_.clock.now(), p);
       }
     }
   }
@@ -85,14 +97,20 @@ class Runtime {
     for (mem::PageId p = first; p <= last; ++p) {
       if (ctx_.store.access(p) == mem::Access::kWrite) continue;
       ctx_.stats.page_faults++;
+      if (auto* t = ctx_.trace)
+        t->begin(ctx_.id, obs::Cat::kFault, ctx_.clock.now(), p);
       ctx_.clock.charge(ctx_.costs.page_fault);
       if (ctx_.store.access(p) == mem::Access::kNone) co_await readFault(p);
       if (!ctx_.store.hasTwin(p)) {
         ctx_.store.makeTwin(p);
         ctx_.clock.charge(ctx_.costs.twin_copy);
+        if (auto* t = ctx_.trace)
+          t->instant(ctx_.id, obs::Cat::kTwin, ctx_.clock.now(), p);
       }
       ctx_.store.setAccess(p, mem::Access::kWrite);
       onPageDirtied(p);
+      if (auto* t = ctx_.trace)
+        t->end(ctx_.id, obs::Cat::kFault, ctx_.clock.now(), p);
     }
   }
 

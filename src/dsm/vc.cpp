@@ -71,6 +71,7 @@ sim::Task<void> VcRuntime::acquireView(ViewId v, bool readonly) {
   }
   ctx_.stats.acquires++;
   const sim::Time t0 = ctx_.clock.now();
+  if (auto* t = ctx_.trace) t->begin(ctx_.id, obs::Cat::kAcquireWait, t0, v);
   auto waiter = std::make_unique<sim::Waiter<ViewGrantMsg>>();
   auto* waiter_ptr = waiter.get();
   VODSM_CHECK_MSG(!grant_waiters_.count(v),
@@ -91,11 +92,17 @@ sim::Task<void> VcRuntime::acquireView(ViewId v, bool readonly) {
       ctx_.clock.charge(ctx_.costs.diffApply(d.wireSize()));
       ctx_.stats.diffs_applied++;
       ctx_.store.setAccess(d.page(), mem::Access::kRead);
+      if (auto* t = ctx_.trace)
+        t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), d.page(),
+                   d.wireSize());
     }
   } else {
     for (const VcNotice& n : g.notices) {
       ctx_.stats.notices_recorded++;
       ctx_.clock.charge(ctx_.costs.apply_notice);
+      if (auto* t = ctx_.trace)
+        t->instant(ctx_.id, obs::Cat::kNotice, ctx_.clock.now(), n.page,
+                   n.writer);
       pending_[n.page].push_back(n);
       ctx_.store.setAccess(n.page, mem::Access::kNone);
     }
@@ -107,6 +114,8 @@ sim::Task<void> VcRuntime::acquireView(ViewId v, bool readonly) {
     write_held_ = v;
     write_version_ = g.write_version;
   }
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kAcquireWait, ctx_.clock.now(), v);
   ctx_.stats.acquire_wait_total += ctx_.clock.now() - t0;
   ctx_.stats.acquire_waits++;
 }
@@ -127,9 +136,14 @@ sim::Task<void> VcRuntime::releaseView(ViewId v, bool readonly) {
   rel.view = v;
   rel.writer = ctx_.id;
   rel.version = write_version_;
+  if (auto* t = ctx_.trace; t && !dirty_.empty())
+    t->begin(ctx_.id, obs::Cat::kDiffCreate, ctx_.clock.now());
+  uint64_t diff_bytes = 0;
+  const size_t dirty_pages = dirty_.size();
   for (mem::PageId p : dirty_) {
     mem::Diff d = ctx_.store.diffAgainstTwin(p);
     ctx_.clock.charge(ctx_.costs.diffCreate(d.wireSize()));
+    diff_bytes += d.wireSize();
     ctx_.store.dropTwin(p);
     ctx_.store.setAccess(p, mem::Access::kRead);
     if (d.empty()) continue;
@@ -140,6 +154,9 @@ sim::Task<void> VcRuntime::releaseView(ViewId v, bool readonly) {
     else
       diff_log_[p].emplace_back(write_version_, std::move(d));
   }
+  if (auto* t = ctx_.trace; t && dirty_pages > 0)
+    t->end(ctx_.id, obs::Cat::kDiffCreate, ctx_.clock.now(), dirty_pages,
+           diff_bytes);
   dirty_.clear();
   last_seen_[v] = write_version_;
   write_held_.reset();
@@ -211,6 +228,8 @@ void VcRuntime::grantNow(const ViewAcqMsg& m, ViewMgrState& st,
       for (mem::PageId p : pages) g.notices.push_back(VcNotice{p, ver, writer});
     }
   }
+  if (auto* t = ctx_.trace)
+    t->instant(ctx_.id, obs::Cat::kGrant, when, m.view, m.requester);
   ctx_.endpoint.post(m.requester, kViewGrant, g.encode(), when);
 }
 
@@ -296,6 +315,9 @@ sim::Task<void> VcRuntime::readFault(mem::PageId p) {
     d.apply(ctx_.store.page(p));
     ctx_.clock.charge(ctx_.costs.diffApply(d.wireSize()));
     ctx_.stats.diffs_applied++;
+    if (auto* t = ctx_.trace)
+      t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), p,
+                 d.wireSize());
   }
   pending_.erase(p);
   ctx_.store.setAccess(p, ctx_.store.hasTwin(p) ? mem::Access::kWrite
@@ -362,6 +384,7 @@ sim::Task<void> VcRuntime::barrier(BarrierId b) {
   arrive_msg.barrier = b;
   arrive_msg.node = ctx_.id;
   const sim::Time t0 = ctx_.clock.now();
+  if (auto* t = ctx_.trace) t->begin(ctx_.id, obs::Cat::kBarrierWait, t0, b);
   auto waiter = std::make_unique<sim::Waiter<BarrReleaseMsg>>();
   auto* waiter_ptr = waiter.get();
   VODSM_CHECK_MSG(!barrier_waiters_.count(b),
@@ -371,6 +394,8 @@ sim::Task<void> VcRuntime::barrier(BarrierId b) {
                      ctx_.clock.now());
   BarrReleaseMsg rel = co_await *waiter_ptr;
   barrier_waiters_.erase(b);
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kBarrierWait, ctx_.clock.now(), b);
   ctx_.stats.barrier_wait_total += ctx_.clock.now() - t0;
   ctx_.stats.barrier_waits++;
 }
@@ -378,6 +403,8 @@ sim::Task<void> VcRuntime::barrier(BarrierId b) {
 void VcRuntime::onBarrArrive(const BarrArriveMsg& m, sim::Time arrive) {
   BarrierMgrState& st = barrier_mgr_[m.barrier];
   st.busy_until = std::max(st.busy_until, arrive) + ctx_.costs.barrier_fold;
+  if (auto* t = ctx_.trace)
+    t->instant(ctx_.id, obs::Cat::kBarrFold, st.busy_until, m.barrier, 0);
   st.arrived++;
   if (st.arrived < ctx_.nprocs) return;
   ctx_.stats.barriers++;

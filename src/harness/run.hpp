@@ -7,6 +7,8 @@
 #include "dsm/types.hpp"
 #include "net/stats.hpp"
 #include "net/types.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/trace.hpp"
 
 namespace vodsm::harness {
 
@@ -16,6 +18,8 @@ struct RunConfig {
   net::NetConfig net;
   dsm::DsmCosts costs;
   uint64_t seed = 42;
+  // Caller-owned recorder; null disables tracing (see vopp::ClusterOptions).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // Everything the paper's statistics tables report about one run.
@@ -23,6 +27,9 @@ struct RunResult {
   double seconds = 0;
   dsm::DsmStats dsm;
   net::NetStats net;
+  // Per-node time buckets folded from the trace; empty unless the run was
+  // traced (RunConfig::trace). Kept by value so it outlives the recorder.
+  obs::Breakdown breakdown;
 
   double dataMBytes() const {
     return static_cast<double>(net.payload_bytes) / 1e6;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "net/stats.hpp"
@@ -44,6 +45,10 @@ class Network {
   void setDeliver(NodeId node, DeliverFn fn) {
     port(node).deliver = std::move(fn);
   }
+
+  // Optional event recorder for frame drops (random loss, NIC overflow).
+  // Drops are charged to the would-be receiver's net track.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
 
   // Inject a frame from src to dst no earlier than `earliest` (typically the
   // sender's local clock). The caller has already decided the frame is worth
@@ -86,6 +91,9 @@ class Network {
   void arriveSwitch(NodeId src, NodeId dst, Bytes frame) {
     if (config_.random_loss > 0 && rng_.chance(config_.random_loss)) {
       stats_.frames_dropped_random++;
+      if (trace_)
+        trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
+                        engine_.now(), src, frame.size());
       return;
     }
     Port& p = port(dst);
@@ -101,6 +109,9 @@ class Network {
     Port& p = port(dst);
     if (p.rx_queue_depth >= config_.rx_queue_frames) {
       stats_.frames_dropped_overflow++;
+      if (trace_)
+        trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
+                        engine_.now(), src, frame.size());
       return;
     }
     p.rx_queue_depth++;
@@ -119,6 +130,7 @@ class Network {
   NetConfig config_;
   sim::Rng rng_;
   NetStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::vector<Port> ports_;
 };
 

@@ -11,6 +11,34 @@
 
 namespace vodsm::net {
 
+// Coarse protocol-level classification of transport messages, used for the
+// per-kind traffic breakdown. The transport itself only sees opaque u16
+// message types; the DSM layer installs a classifier on each endpoint
+// mapping its types onto these classes (unclassified traffic lands in
+// kOther).
+enum class MsgClass : uint8_t {
+  kAcquire = 0,   // lock/view acquire requests and manager forwards
+  kGrant,         // lock/view grants (VC_sd: carries integrated diffs)
+  kRelease,       // lock/view releases
+  kDiffRequest,
+  kDiffReply,
+  kBarrier,       // barrier arrive + release
+  kData,          // message-passing payload (MPI-style apps)
+  kOther,
+};
+inline constexpr int kMsgClassCount = 8;
+inline constexpr const char* kMsgClassName[kMsgClassCount] = {
+    "acquire", "grant", "release", "diff req", "diff reply",
+    "barrier", "data",  "other",
+};
+
+// Per-class slice of the transport counters below.
+struct KindStats {
+  uint64_t messages = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t retransmissions = 0;
+};
+
 struct NetStats {
   // Frame-level (what actually crossed the wire).
   uint64_t frames_sent = 0;
@@ -24,6 +52,16 @@ struct NetStats {
   uint64_t acks = 0;           // pure ack frames
   uint64_t payload_bytes = 0;  // payload of non-ack sends
   uint64_t retransmissions = 0;
+
+  // Transport counters above, split by message class. Sums over the array
+  // equal messages/payload_bytes/retransmissions exactly: every send and
+  // every retransmission is attributed to one class.
+  KindStats kind[kMsgClassCount];
+
+  KindStats& of(MsgClass c) { return kind[static_cast<size_t>(c)]; }
+  const KindStats& of(MsgClass c) const {
+    return kind[static_cast<size_t>(c)];
+  }
 
   void reset() { *this = NetStats{}; }
 };

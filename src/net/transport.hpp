@@ -24,6 +24,7 @@
 #include <unordered_set>
 
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/task.hpp"
 #include "sim/waiter.hpp"
 
@@ -93,6 +94,16 @@ class Endpoint {
   NodeId self() const { return self_; }
   void setHandler(Handler h) { handler_ = std::move(h); }
 
+  // Maps the opaque u16 message type onto a MsgClass for the per-kind
+  // traffic breakdown. Installed by the protocol layer; without one all
+  // traffic counts as kOther.
+  using Classifier = MsgClass (*)(uint16_t type);
+  void setClassifier(Classifier c) { classify_ = c; }
+
+  // Optional event recorder for send/deliver/retransmit instants. Null (the
+  // default) disables recording; observation never charges simulated time.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+
   // Reliable one-way message, leaving the node no earlier than `earliest`.
   void post(NodeId dst, uint16_t type, Bytes payload, sim::Time earliest) {
     const uint64_t seq = next_seq_++;
@@ -101,7 +112,8 @@ class Endpoint {
       sendLocal(std::move(frame), earliest);
       return;
     }
-    countSend(payload.size());
+    countSend(type, payload.size());
+    traceSend(type, payload.size(), earliest);
     auto [it, inserted] = pending_posts_.emplace(seq, Pending{dst, frame});
     VODSM_CHECK(inserted);
     network_.send(self_, dst, std::move(frame), earliest);
@@ -121,7 +133,8 @@ class Endpoint {
       // moved straight into local delivery instead of copied.
       sendLocal(std::move(frame), earliest);
     } else {
-      countSend(payload.size());
+      countSend(type, payload.size());
+      traceSend(type, payload.size(), earliest);
       p->dst = dst;
       p->frame = frame;
       network_.send(self_, dst, std::move(frame), earliest);
@@ -143,7 +156,8 @@ class Endpoint {
       return;
     }
     cacheReply(token.requester, token.seq, frame);
-    countSend(payload.size());
+    countSend(type, payload.size());
+    traceSend(type, payload.size(), earliest);
     network_.send(self_, token.requester, std::move(frame), earliest);
   }
 
@@ -173,9 +187,37 @@ class Endpoint {
     return w.take();
   }
 
-  void countSend(size_t payload_bytes) {
-    stats().messages++;
-    stats().payload_bytes += payload_bytes;
+  MsgClass classify(uint16_t type) const {
+    return classify_ ? classify_(type) : MsgClass::kOther;
+  }
+
+  void countSend(uint16_t type, size_t payload_bytes) {
+    NetStats& s = stats();
+    s.messages++;
+    s.payload_bytes += payload_bytes;
+    KindStats& k = s.of(classify(type));
+    k.messages++;
+    k.payload_bytes += payload_bytes;
+  }
+
+  void traceSend(uint16_t type, size_t payload_bytes, sim::Time ts) {
+    if (trace_)
+      trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kSend, ts, type,
+                      payload_bytes);
+  }
+
+  // A retransmission counts as another message of the frame's class (the
+  // paper's message counts include retransmissions) and is attributed to
+  // that class separately so hot spots under loss are visible.
+  void countRetransmit(const Bytes& frame) {
+    const uint16_t type = frameType(frame);
+    stats().retransmissions++;
+    stats().of(classify(type)).retransmissions++;
+    countSend(type, payloadSize(frame));
+    // Deliberately not also a kSend instant: one event per wire action.
+    if (trace_)
+      trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kRetransmit,
+                      engine_.now(), type, payloadSize(frame));
   }
 
   void sendLocal(Bytes frame, sim::Time earliest) {
@@ -189,8 +231,7 @@ class Endpoint {
     engine_.after(network_.config().rto, [this, seq, epoch] {
       auto it = pending_posts_.find(seq);
       if (it == pending_posts_.end() || it->second.epoch != epoch) return;
-      stats().retransmissions++;
-      countSend(payloadSize(it->second.frame));
+      countRetransmit(it->second.frame);
       network_.send(self_, it->second.dst, Bytes(it->second.frame),
                     engine_.now());
       armPostTimer(seq, epoch);
@@ -201,8 +242,7 @@ class Endpoint {
     engine_.after(network_.config().rto, [this, seq, epoch] {
       auto it = pending_rpcs_.find(seq);
       if (it == pending_rpcs_.end() || it->second->epoch != epoch) return;
-      stats().retransmissions++;
-      countSend(payloadSize(it->second->frame));
+      countRetransmit(it->second->frame);
       network_.send(self_, it->second->dst, Bytes(it->second->frame),
                     engine_.now());
       armRpcTimer(seq, epoch);
@@ -214,10 +254,19 @@ class Endpoint {
     return frame.size() - 15;
   }
 
+  // The message type lives at offset 9, after kind(1) + seq(8).
+  static uint16_t frameType(const Bytes& frame) {
+    return static_cast<uint16_t>(frame[9]) |
+           static_cast<uint16_t>(static_cast<uint16_t>(frame[10]) << 8);
+  }
+
   void onFrame(NodeId src, Bytes frame, sim::Time arrive, bool via_wire) {
     Reader r(frame);
     const auto kind = static_cast<FrameKind>(r.u8());
     const uint64_t seq = r.u64();
+    if (trace_ && via_wire)
+      trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kDeliver, arrive,
+                      static_cast<uint64_t>(kind), frame.size());
     switch (kind) {
       case FrameKind::kAck: {
         auto it = pending_posts_.find(seq);
@@ -255,8 +304,7 @@ class Endpoint {
           if (cit != reply_cache_.end()) {
             auto rit = cit->second.find(seq);
             if (rit != cit->second.end() && via_wire) {
-              stats().retransmissions++;
-              countSend(payloadSize(rit->second));
+              countRetransmit(rit->second);
               network_.send(self_, src, Bytes(rit->second), engine_.now());
             }
           }
@@ -304,6 +352,8 @@ class Endpoint {
   NodeId self_;
   sim::Time local_delivery_;
   Handler handler_;
+  Classifier classify_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   uint64_t next_seq_ = 0;
   std::unordered_map<uint64_t, Pending> pending_posts_;
   std::unordered_map<uint64_t, std::unique_ptr<PendingRpc>> pending_rpcs_;

@@ -1,0 +1,104 @@
+#include "obs/breakdown.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace vodsm::obs {
+
+namespace {
+
+// Spans of one category never self-nest on a node, so one open-begin slot
+// per (node, category) is enough to match ends to begins.
+uint64_t slotKey(uint32_t node, Cat c) {
+  return (static_cast<uint64_t>(node) << 8) | static_cast<uint64_t>(c);
+}
+
+sim::Time* bucketOf(BucketSet& b, Cat c) {
+  switch (c) {
+    case Cat::kBarrierWait: return &b.barrier_wait;
+    case Cat::kAcquireWait: return &b.acquire_wait;
+    case Cat::kFault:
+    case Cat::kDiffCreate: return &b.fault_diff;
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+Breakdown foldBreakdown(const TraceRecorder& trace, int nprocs,
+                        sim::Time finish) {
+  Breakdown out;
+  out.run_time = finish;
+  out.nodes.resize(static_cast<size_t>(nprocs));
+  std::vector<sim::Time> node_end(static_cast<size_t>(nprocs), finish);
+  std::unordered_map<uint64_t, sim::Time> open;
+
+  for (const Event& e : trace.events()) {
+    if (e.node == kEngineNode || e.node >= static_cast<uint32_t>(nprocs))
+      continue;
+    if (e.cat == Cat::kProgram) {
+      if (e.phase == Phase::kEnd) node_end[e.node] = e.ts;
+      continue;
+    }
+    BucketSet& b = out.nodes[e.node];
+    sim::Time* bucket = bucketOf(b, e.cat);
+    if (!bucket) continue;
+    if (e.phase == Phase::kBegin) {
+      open[slotKey(e.node, e.cat)] = e.ts;
+    } else if (e.phase == Phase::kEnd) {
+      auto it = open.find(slotKey(e.node, e.cat));
+      VODSM_CHECK_MSG(it != open.end(), "trace span end without begin (node "
+                                            << e.node << ")");
+      VODSM_CHECK_MSG(e.ts >= it->second, "trace span ends before it begins");
+      *bucket += e.ts - it->second;
+      open.erase(it);
+    }
+  }
+  VODSM_CHECK_MSG(open.empty(), "trace has " << open.size()
+                                             << " unterminated spans");
+
+  for (int n = 0; n < nprocs; ++n) {
+    BucketSet& b = out.nodes[static_cast<size_t>(n)];
+    const sim::Time end = node_end[static_cast<size_t>(n)];
+    b.idle = finish - end;
+    b.compute = end - b.barrier_wait - b.acquire_wait - b.fault_diff;
+    out.aggregate.add(b);
+  }
+  return out;
+}
+
+namespace {
+
+std::string cell(sim::Time t, sim::Time total) {
+  std::string secs = TextTable::format(sim::toSeconds(t));
+  double pct = total > 0 ? 100.0 * static_cast<double>(t) /
+                               static_cast<double>(total)
+                         : 0.0;
+  return secs + " (" + TextTable::format(pct) + "%)";
+}
+
+}  // namespace
+
+void printBreakdown(std::ostream& os, const Breakdown& b,
+                    const std::string& title) {
+  os << "\n" << title << "\n";
+  TextTable t;
+  t.header({"node", "compute", "barrier wait", "acquire wait", "fault+diff",
+            "idle", "total (s)"});
+  auto row = [&](const std::string& label, const BucketSet& s,
+                 sim::Time total) {
+    t.row({label, cell(s.compute, total), cell(s.barrier_wait, total),
+           cell(s.acquire_wait, total), cell(s.fault_diff, total),
+           cell(s.idle, total), TextTable::format(sim::toSeconds(total))});
+  };
+  for (size_t n = 0; n < b.nodes.size(); ++n)
+    row(std::to_string(n), b.nodes[n], b.run_time);
+  row("all", b.aggregate,
+      b.run_time * static_cast<sim::Time>(b.nodes.size()));
+  t.print(os);
+}
+
+}  // namespace vodsm::obs

@@ -1,0 +1,22 @@
+// Chrome trace-event JSON exporter for recorded traces.
+//
+// The output loads in Perfetto (ui.perfetto.dev) and chrome://tracing: one
+// trace process per simulated node (plus one for the engine), with "app",
+// "proto" and "net" threads per node. Span events become B/E pairs, instant
+// events become thread-scoped instants; the two argument words of each event
+// are emitted under the names from obs::kCatInfo (page/view/lock ids,
+// payload sizes). Timestamps are simulated microseconds.
+#pragma once
+
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace vodsm::obs {
+
+// Writes the whole trace as {"traceEvents": [...]}. Events are emitted in
+// (timestamp, recording order) so viewers need no resorting; the output is
+// a pure function of the event list, hence deterministic across runs.
+void writeChromeTrace(std::ostream& os, const TraceRecorder& trace);
+
+}  // namespace vodsm::obs

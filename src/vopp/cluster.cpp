@@ -25,13 +25,14 @@ void Cluster::run(const Program& program) {
 
   network_ = std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                             opts_.seed);
+  network_->setTrace(opts_.trace);
   ctxs_.reserve(static_cast<size_t>(opts_.nprocs));
   runtimes_.reserve(static_cast<size_t>(opts_.nprocs));
   nodes_.reserve(static_cast<size_t>(opts_.nprocs));
   for (int i = 0; i < opts_.nprocs; ++i) {
     ctxs_.push_back(std::make_unique<dsm::NodeCtx>(
         static_cast<dsm::NodeId>(i), opts_.nprocs, engine_, *network_, views_,
-        opts_.costs));
+        opts_.costs, opts_.trace));
     runtimes_.push_back(makeRuntime(*ctxs_.back()));
     nodes_.push_back(
         std::make_unique<Node>(*this, *ctxs_.back(), *runtimes_.back()));
@@ -41,15 +42,27 @@ void Cluster::run(const Program& program) {
   std::exception_ptr first_error;
   for (int i = 0; i < opts_.nprocs; ++i) {
     Node& node = *nodes_[static_cast<size_t>(i)];
+    if (auto* t = opts_.trace)
+      t->begin(static_cast<uint32_t>(i), obs::Cat::kProgram, 0,
+               static_cast<uint64_t>(i));
     sim::spawn(scope_, program(node),
                [this, i, &finished, &first_error](std::exception_ptr e) {
                  finished[static_cast<size_t>(i)] = true;
                  if (e && !first_error) first_error = e;
-                 finish_time_ = std::max(
-                     finish_time_, ctxs_[static_cast<size_t>(i)]->clock.now());
+                 const sim::Time done =
+                     ctxs_[static_cast<size_t>(i)]->clock.now();
+                 if (auto* t = opts_.trace)
+                   t->end(static_cast<uint32_t>(i), obs::Cat::kProgram, done,
+                          static_cast<uint64_t>(i));
+                 finish_time_ = std::max(finish_time_, done);
                });
   }
-  engine_.run();
+  if (auto* t = opts_.trace)
+    t->begin(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now());
+  const uint64_t engine_events = engine_.run();
+  if (auto* t = opts_.trace)
+    t->end(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now(),
+           engine_events);
 
   if (first_error) std::rethrow_exception(first_error);
   for (int i = 0; i < opts_.nprocs; ++i) {

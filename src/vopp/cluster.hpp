@@ -26,6 +26,8 @@
 #include "dsm/runtime.hpp"
 #include "dsm/vc.hpp"
 #include "net/network.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
@@ -37,6 +39,11 @@ struct ClusterOptions {
   net::NetConfig net;
   dsm::DsmCosts costs;
   uint64_t seed = 42;
+  // Caller-owned event recorder, threaded through every layer of the run
+  // (programs, protocol engines, transport, network). Null disables tracing;
+  // recording never charges simulated time, so traced and untraced runs
+  // produce identical results.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Cluster;
@@ -60,25 +67,41 @@ class Node {
 
   // --- VOPP primitives ---
   sim::Task<void> acquireView(dsm::ViewId v) {
+    beginSpan(obs::Cat::kAcquireView, v, 0);
     co_await rt_.acquireView(v, /*readonly=*/false);
+    endSpan(obs::Cat::kAcquireView, v, 0);
   }
   sim::Task<void> releaseView(dsm::ViewId v) {
+    beginSpan(obs::Cat::kReleaseView, v, 0);
     co_await rt_.releaseView(v, /*readonly=*/false);
+    endSpan(obs::Cat::kReleaseView, v, 0);
   }
   sim::Task<void> acquireRview(dsm::ViewId v) {
+    beginSpan(obs::Cat::kAcquireView, v, 1);
     co_await rt_.acquireView(v, /*readonly=*/true);
+    endSpan(obs::Cat::kAcquireView, v, 1);
   }
   sim::Task<void> releaseRview(dsm::ViewId v) {
+    beginSpan(obs::Cat::kReleaseView, v, 1);
     co_await rt_.releaseView(v, /*readonly=*/true);
+    endSpan(obs::Cat::kReleaseView, v, 1);
   }
-  sim::Task<void> barrier(dsm::BarrierId b = 0) { co_await rt_.barrier(b); }
+  sim::Task<void> barrier(dsm::BarrierId b = 0) {
+    beginSpan(obs::Cat::kBarrier, b);
+    co_await rt_.barrier(b);
+    endSpan(obs::Cat::kBarrier, b);
+  }
 
   // Bring every view up to date on this node (paper's merge_views:
   // "expensive but convenient").
   sim::Task<void> mergeViews();
 
   // --- traditional DSM primitives (LRC_d) ---
-  sim::Task<void> acquireLock(dsm::LockId l) { co_await rt_.acquireLock(l); }
+  sim::Task<void> acquireLock(dsm::LockId l) {
+    beginSpan(obs::Cat::kAcquireLock, l);
+    co_await rt_.acquireLock(l);
+    endSpan(obs::Cat::kAcquireLock, l);
+  }
   sim::Task<void> releaseLock(dsm::LockId l) { co_await rt_.releaseLock(l); }
 
   // --- shared memory access ---
@@ -121,6 +144,13 @@ class Node {
   void chargeCopy(size_t bytes) {
     ctx_.clock.charge(ctx_.costs.copy_per_kb *
                       static_cast<sim::Time>(bytes / 1024 + 1));
+  }
+
+  void beginSpan(obs::Cat c, uint64_t a0, uint64_t a1 = 0) {
+    if (auto* t = ctx_.trace) t->begin(ctx_.id, c, ctx_.clock.now(), a0, a1);
+  }
+  void endSpan(obs::Cat c, uint64_t a0, uint64_t a1 = 0) {
+    if (auto* t = ctx_.trace) t->end(ctx_.id, c, ctx_.clock.now(), a0, a1);
   }
 
   Cluster& cluster_;
@@ -205,6 +235,12 @@ class Cluster {
   double seconds() const { return sim::toSeconds(finish_time_); }
   sim::Time finishTime() const { return finish_time_; }
   dsm::DsmStats dsmStats() const;
+  // Folds the recorded trace into per-node time buckets. Empty (enabled() ==
+  // false) when the run was not traced.
+  obs::Breakdown breakdown() const {
+    if (!opts_.trace) return {};
+    return obs::foldBreakdown(*opts_.trace, opts_.nprocs, finish_time_);
+  }
   const net::NetStats& netStats() const {
     VODSM_CHECK(network_ != nullptr);
     return network_->stats();

@@ -1,0 +1,233 @@
+// Observability invariants: tracing must be a pure observer.
+//
+//  * A traced run is bit-identical to an untraced run (same config/seed).
+//  * The recorded event stream and the folded breakdown are bit-identical
+//    across repeated runs and across host-thread interleavings.
+//  * Spans nest properly per node and the time buckets partition each
+//    node's run time exactly.
+//  * Per-kind network counters sum to the global counters exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "apps/is.hpp"
+#include "apps/nn.hpp"
+#include "harness/parallel_runner.hpp"
+#include "harness/run.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
+
+namespace vodsm {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+
+apps::IsParams smallIs() {
+  apps::IsParams p;
+  p.n_keys = 1 << 12;
+  p.max_key = (1 << 8) - 1;
+  p.iterations = 3;
+  return p;
+}
+
+RunConfig smallConfig(dsm::Protocol proto) {
+  RunConfig c;
+  c.protocol = proto;
+  c.nprocs = 4;
+  return c;
+}
+
+apps::IsVariant variantFor(dsm::Protocol proto) {
+  return proto == dsm::Protocol::kLrcDiff ? apps::IsVariant::kTraditional
+                                          : apps::IsVariant::kVopp;
+}
+
+struct TracedRun {
+  RunResult result;
+  std::vector<obs::Event> events;
+};
+
+TracedRun runTracedIs(RunConfig c) {
+  obs::TraceRecorder rec;
+  c.trace = &rec;
+  RunResult r = apps::runIs(c, smallIs(), variantFor(c.protocol)).result;
+  return {r, rec.events()};
+}
+
+void expectSameSimResult(const RunResult& a, const RunResult& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.seconds, b.seconds) << what;
+  EXPECT_EQ(a.dsm.barriers, b.dsm.barriers) << what;
+  EXPECT_EQ(a.dsm.acquires, b.dsm.acquires) << what;
+  EXPECT_EQ(a.dsm.page_faults, b.dsm.page_faults) << what;
+  EXPECT_EQ(a.dsm.diffs_created, b.dsm.diffs_created) << what;
+  EXPECT_EQ(a.dsm.barrier_wait_total, b.dsm.barrier_wait_total) << what;
+  EXPECT_EQ(a.dsm.acquire_wait_total, b.dsm.acquire_wait_total) << what;
+  EXPECT_EQ(a.net.messages, b.net.messages) << what;
+  EXPECT_EQ(a.net.payload_bytes, b.net.payload_bytes) << what;
+  EXPECT_EQ(a.net.retransmissions, b.net.retransmissions) << what;
+}
+
+bool sameEvents(const std::vector<obs::Event>& a,
+                const std::vector<obs::Event>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(obs::Event)) == 0);
+}
+
+const std::vector<dsm::Protocol> kAllProtocols = {
+    dsm::Protocol::kLrcDiff, dsm::Protocol::kVcDiff, dsm::Protocol::kVcSd};
+
+TEST(Obs, TracedRunMatchesUntracedRun) {
+  for (auto proto : kAllProtocols) {
+    RunConfig c = smallConfig(proto);
+    RunResult untraced =
+        apps::runIs(c, smallIs(), variantFor(proto)).result;
+    TracedRun traced = runTracedIs(c);
+    expectSameSimResult(untraced, traced.result, "traced vs untraced");
+    EXPECT_FALSE(untraced.breakdown.enabled());
+    EXPECT_TRUE(traced.result.breakdown.enabled());
+    EXPECT_FALSE(traced.events.empty());
+  }
+}
+
+TEST(Obs, TraceIsBitIdenticalAcrossRuns) {
+  for (auto proto : kAllProtocols) {
+    TracedRun first = runTracedIs(smallConfig(proto));
+    TracedRun second = runTracedIs(smallConfig(proto));
+    expectSameSimResult(first.result, second.result, "repeat");
+    EXPECT_TRUE(sameEvents(first.events, second.events));
+  }
+}
+
+TEST(Obs, TraceIsIndependentOfHostThreading) {
+  // Same cells as a traced parallel sweep: each cell owns its recorder, so
+  // host-thread interleaving must not leak into any event stream.
+  std::vector<std::function<TracedRun()>> cells;
+  for (auto proto : kAllProtocols)
+    cells.push_back([proto] { return runTracedIs(smallConfig(proto)); });
+
+  auto serial = harness::runAll(cells, /*jobs=*/1);
+  auto parallel = harness::runAll(cells, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    expectSameSimResult(serial[i].result, parallel[i].result, "jobs");
+    EXPECT_TRUE(sameEvents(serial[i].events, parallel[i].events));
+  }
+}
+
+TEST(Obs, SpansNestPerNode) {
+  TracedRun run = runTracedIs(smallConfig(dsm::Protocol::kVcSd));
+  // Per-node stack check: every end matches the innermost open begin of the
+  // same category, and spans never run backwards in simulated time.
+  std::map<uint32_t, std::vector<const obs::Event*>> open;
+  for (const obs::Event& e : run.events) {
+    if (e.phase == obs::Phase::kBegin) {
+      open[e.node].push_back(&e);
+    } else if (e.phase == obs::Phase::kEnd) {
+      auto& stack = open[e.node];
+      ASSERT_FALSE(stack.empty()) << "end without begin";
+      EXPECT_EQ(stack.back()->cat, e.cat) << "mismatched span nesting";
+      EXPECT_LE(stack.back()->ts, e.ts) << "span ends before it begins";
+      stack.pop_back();
+    }
+  }
+  for (auto& [node, stack] : open)
+    EXPECT_TRUE(stack.empty()) << "unterminated span on node " << node;
+}
+
+TEST(Obs, BucketsPartitionRunTime) {
+  for (auto proto : kAllProtocols) {
+    TracedRun run = runTracedIs(smallConfig(proto));
+    const obs::Breakdown& b = run.result.breakdown;
+    ASSERT_TRUE(b.enabled());
+    ASSERT_EQ(b.nodes.size(), 4u);
+    EXPECT_EQ(sim::toSeconds(b.run_time), run.result.seconds);
+    obs::BucketSet sum;
+    for (const obs::BucketSet& n : b.nodes) {
+      // The five buckets partition this node's time exactly.
+      EXPECT_EQ(n.total(), b.run_time);
+      EXPECT_GE(n.compute, 0);
+      EXPECT_GE(n.idle, 0);
+      sum.add(n);
+    }
+    EXPECT_EQ(sum.compute, b.aggregate.compute);
+    EXPECT_EQ(sum.barrier_wait, b.aggregate.barrier_wait);
+    EXPECT_EQ(sum.acquire_wait, b.aggregate.acquire_wait);
+    EXPECT_EQ(sum.fault_diff, b.aggregate.fault_diff);
+    EXPECT_EQ(sum.idle, b.aggregate.idle);
+    EXPECT_GT(b.aggregate.compute, 0);
+  }
+}
+
+TEST(Obs, BreakdownSeesProtocolDifferences) {
+  // LRC_d synchronizes through barriers (traditional IS), VC_sd through
+  // view acquires; the breakdown must attribute the wait accordingly.
+  TracedRun lrc = runTracedIs(smallConfig(dsm::Protocol::kLrcDiff));
+  TracedRun vcsd = runTracedIs(smallConfig(dsm::Protocol::kVcSd));
+  EXPECT_GT(lrc.result.breakdown.aggregate.barrier_wait, 0);
+  EXPECT_EQ(lrc.result.breakdown.aggregate.acquire_wait, 0);
+  EXPECT_GT(vcsd.result.breakdown.aggregate.acquire_wait, 0);
+}
+
+TEST(Obs, MpiRunsAreNotTraced) {
+  apps::NnParams p;
+  p.samples = 64;
+  p.epochs = 2;
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  obs::TraceRecorder rec;
+  c.trace = &rec;
+  RunResult r = apps::runNn(c, p, apps::NnVariant::kMpi).result;
+  // NN/MPI runs in the message-passing world, not through the DSM cluster:
+  // no trace, no breakdown.
+  EXPECT_FALSE(r.breakdown.enabled());
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Obs, PerKindStatsSumToGlobals) {
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  // Lossy network so the per-kind retransmission attribution is exercised.
+  c.net.random_loss = 0.02;
+  c.net.rto = sim::msec(20);
+  RunResult r = apps::runIs(c, smallIs(), apps::IsVariant::kVopp).result;
+
+  uint64_t messages = 0, payload = 0, rexmit = 0;
+  for (int k = 0; k < net::kMsgClassCount; ++k) {
+    messages += r.net.kind[k].messages;
+    payload += r.net.kind[k].payload_bytes;
+    rexmit += r.net.kind[k].retransmissions;
+  }
+  EXPECT_EQ(messages, r.net.messages);
+  EXPECT_EQ(payload, r.net.payload_bytes);
+  EXPECT_EQ(rexmit, r.net.retransmissions);
+  EXPECT_GT(rexmit, 0u) << "lossy run should retransmit";
+  // IS under VC_sd moves its data through view grants.
+  EXPECT_GT(r.net.of(net::MsgClass::kGrant).payload_bytes, 0u);
+  EXPECT_GT(r.net.of(net::MsgClass::kBarrier).messages, 0u);
+}
+
+TEST(Obs, ChromeTraceExportIsDeterministic) {
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  obs::TraceRecorder live;
+  c.trace = &live;
+  (void)apps::runIs(c, smallIs(), apps::IsVariant::kVopp);
+
+  std::ostringstream a, b;
+  obs::writeChromeTrace(a, live);
+  obs::writeChromeTrace(b, live);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string& s = a.str();
+  EXPECT_EQ(s.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"acquire_view\""), std::string::npos);
+  EXPECT_NE(s.find("\"barrier_wait\""), std::string::npos);
+  EXPECT_EQ(s.substr(s.size() - 3), "]}\n");
+}
+
+}  // namespace
+}  // namespace vodsm
