@@ -1,0 +1,302 @@
+// Scaling-model fits over BENCH_tables.json.
+//
+// The speedup tables sample each (app, implementation) pair at p = 2..32
+// processors. This tool fits every sampled time series — total simulated
+// time and each per-cell breakdown bucket — to the standard parallel-cost
+// form
+//
+//     T(p) = c * p^a * log2(p)^b
+//
+// by least squares in log space (ln T = ln c + a ln p + b ln log2 p, 3x3
+// normal equations with partial pivoting; b is dropped when the system is
+// singular, e.g. with fewer than three sample points). The exponents make
+// the asymptotics legible at a glance: a ≈ -1 is perfect strong scaling,
+// a ≈ 0 a serial bottleneck, b > 0 a tree/combining term like the barrier
+// fan-in.
+//
+// The fitted total-time models are then compared pairwise per app: the
+// first integer p at which the predicted ordering of two implementations
+// flips is reported as the model's crossover point — e.g. where VC_sd's
+// lower barrier cost overtakes LRC_d's cheaper acquires, beyond the p the
+// tables actually sampled.
+//
+//   fit_scaling                         # reads BENCH_tables.json
+//   fit_scaling --json=other.json --max-p=1024
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using vodsm::TextTable;
+using vodsm::support::Json;
+
+struct Sample {
+  int procs = 0;
+  // Bucket name -> seconds; "total" is sim_seconds, the rest come from the
+  // cell's breakdown_seconds object.
+  std::map<std::string, double> seconds;
+};
+
+// One (app, implementation) time series from the speedup tables.
+struct Series {
+  std::string app;
+  std::string impl;
+  std::vector<Sample> samples;  // sorted by procs
+};
+
+struct Fit {
+  double c = 0;
+  double a = 0;
+  double b = 0;
+  double r2 = 0;
+  int points = 0;
+  bool ok = false;
+
+  double eval(double p) const {
+    return c * std::pow(p, a) * std::pow(std::log2(p), b);
+  }
+};
+
+// Solves the 3x3 (or 2x2 when `use_b` is false) normal equations for
+// ln T = ln c + a ln x1 + b ln x2 by Gaussian elimination with partial
+// pivoting. Returns false on a singular system.
+bool solveNormal(std::vector<std::vector<double>> m, std::vector<double>& x) {
+  const size_t n = m.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::fabs(m[r][col]) > std::fabs(m[piv][col])) piv = r;
+    if (std::fabs(m[piv][col]) < 1e-12) return false;
+    std::swap(m[col], m[piv]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (size_t k = col; k <= n; ++k) m[r][k] -= f * m[col][k];
+    }
+  }
+  x.resize(n);
+  for (size_t i = 0; i < n; ++i) x[i] = m[i][n] / m[i][i];
+  return true;
+}
+
+Fit fitSeries(const std::vector<std::pair<int, double>>& pts) {
+  Fit fit;
+  fit.points = static_cast<int>(pts.size());
+  if (pts.size() < 2) return fit;
+
+  // Design matrix rows: [1, ln p, ln log2 p] -> ln T.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (const auto& [p, t] : pts) {
+    rows.push_back({1.0, std::log(static_cast<double>(p)),
+                    std::log(std::log2(static_cast<double>(p)))});
+    ys.push_back(std::log(t));
+  }
+
+  auto normal = [&](size_t dims) {
+    std::vector<std::vector<double>> m(dims, std::vector<double>(dims + 1, 0));
+    for (size_t i = 0; i < rows.size(); ++i)
+      for (size_t r = 0; r < dims; ++r) {
+        for (size_t c = 0; c < dims; ++c) m[r][c] += rows[i][r] * rows[i][c];
+        m[r][dims] += rows[i][r] * ys[i];
+      }
+    return m;
+  };
+
+  std::vector<double> coef;
+  bool with_b = pts.size() >= 3 && solveNormal(normal(3), coef);
+  if (!with_b) {
+    // Fall back to T = c * p^a; the log-log term is collinear or there are
+    // too few points to identify it.
+    if (!solveNormal(normal(2), coef)) return fit;
+    coef.push_back(0.0);
+  }
+  fit.c = std::exp(coef[0]);
+  fit.a = coef[1];
+  fit.b = coef[2];
+  fit.ok = true;
+
+  double mean = 0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ssr = 0, sst = 0;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    const double pred =
+        coef[0] + coef[1] * rows[i][1] + coef[2] * rows[i][2];
+    ssr += (ys[i] - pred) * (ys[i] - pred);
+    sst += (ys[i] - mean) * (ys[i] - mean);
+  }
+  fit.r2 = sst > 0 ? 1.0 - ssr / sst : 1.0;
+  return fit;
+}
+
+// "IS/VC_sd/16p" -> app, impl, procs. Returns false for malformed ids.
+bool splitCellId(const std::string& id, std::string& app, std::string& impl,
+                 int& procs) {
+  const size_t s1 = id.find('/');
+  const size_t s2 = id.rfind('/');
+  if (s1 == std::string::npos || s2 == s1) return false;
+  app = id.substr(0, s1);
+  impl = id.substr(s1 + 1, s2 - s1 - 1);
+  const std::string tail = id.substr(s2 + 1);
+  if (tail.empty() || tail.back() != 'p') return false;
+  procs = std::atoi(tail.c_str());
+  return procs > 0;
+}
+
+std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_tables.json";
+  int max_p = 4096;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) path = a.substr(7);
+    else if (a.rfind("--max-p=", 0) == 0) max_p = std::atoi(a.c_str() + 8);
+    else {
+      std::cerr << "usage: " << argv[0] << " [--json=PATH] [--max-p=N]\n";
+      return 2;
+    }
+  }
+
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot read " << path
+              << " (run bench/table_suite first)\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+
+  Json doc = Json::parse(buf.str());
+
+  // Collect the speedup-table grids; the stats tables sample only one p and
+  // the "seq" baselines have no scaling to fit.
+  std::map<std::pair<std::string, std::string>, Series> series;
+  for (const Json& table : doc.at("tables").items()) {
+    if (table.at("name").asString().find("speedup") == std::string::npos)
+      continue;
+    for (const Json& cell : table.at("cells").items()) {
+      std::string app, impl;
+      int procs = 0;
+      if (!splitCellId(cell.at("id").asString(), app, impl, procs)) continue;
+      if (impl == "seq") continue;
+      Sample s;
+      s.procs = procs;
+      s.seconds["total"] = cell.at("sim_seconds").asNumber();
+      if (const Json* b = cell.find("breakdown_seconds"))
+        for (const auto& [name, v] : b->members())
+          s.seconds[name] = v.asNumber();
+      Series& sr = series[{app, impl}];
+      sr.app = app;
+      sr.impl = impl;
+      sr.samples.push_back(std::move(s));
+    }
+  }
+  if (series.empty()) {
+    std::cerr << path << " has no speedup-table cells\n";
+    return 1;
+  }
+
+  std::cout << "Scaling fits from " << path
+            << "  (model: T(p) = c * p^a * log2(p)^b)\n";
+
+  // app -> impl -> total fit, for the crossover scan.
+  std::map<std::string, std::map<std::string, Fit>> totals;
+
+  std::string cur_app;
+  TextTable t;
+  auto flush = [&] {
+    if (!cur_app.empty()) t.print(std::cout);
+  };
+  for (auto& [key, sr] : series) {
+    if (sr.app != cur_app) {
+      flush();
+      cur_app = sr.app;
+      std::cout << "\n" << cur_app << "\n";
+      t = TextTable();
+      t.header({"impl", "bucket", "c (s)", "a", "b", "R^2", "pts"});
+    }
+    std::sort(sr.samples.begin(), sr.samples.end(),
+              [](const Sample& x, const Sample& y) {
+                return x.procs < y.procs;
+              });
+    // Every bucket name seen anywhere in this series, "total" first.
+    std::vector<std::string> buckets = {"total"};
+    for (const Sample& s : sr.samples)
+      for (const auto& [name, v] : s.seconds)
+        if (name != "total" &&
+            std::find(buckets.begin(), buckets.end(), name) == buckets.end())
+          buckets.push_back(name);
+    for (const std::string& bucket : buckets) {
+      // ln T needs T > 0; buckets a protocol never pays (e.g. acquire_wait
+      // under pure barriers) are skipped rather than fitted through zeros.
+      std::vector<std::pair<int, double>> pts;
+      for (const Sample& s : sr.samples) {
+        auto it = s.seconds.find(bucket);
+        if (it != s.seconds.end() && it->second > 0)
+          pts.emplace_back(s.procs, it->second);
+      }
+      if (pts.size() < 2) continue;
+      const Fit fit = fitSeries(pts);
+      if (!fit.ok) continue;
+      if (bucket == "total") totals[sr.app][sr.impl] = fit;
+      t.row({bucket == "total" ? sr.impl : "", bucket, fmt(fit.c, 4),
+             fmt(fit.a), fmt(fit.b), fmt(fit.r2), std::to_string(fit.points)});
+    }
+  }
+  flush();
+
+  // Pairwise crossover scan on the fitted totals: first integer p where the
+  // predicted ordering flips relative to the smallest sampled p.
+  std::cout << "\nModel-predicted crossovers (p scanned up to " << max_p
+            << "):\n";
+  for (const auto& [app, impls] : totals) {
+    std::vector<std::pair<std::string, Fit>> v(impls.begin(), impls.end());
+    for (size_t i = 0; i < v.size(); ++i)
+      for (size_t j = i + 1; j < v.size(); ++j) {
+        const Fit& fa = v[i].second;
+        const Fit& fb = v[j].second;
+        // Curved models (b != 0) can cross more than once; report every
+        // flip of the predicted ordering, not just the first.
+        bool a_ahead = fa.eval(2) < fb.eval(2);
+        bool crossed = false;
+        for (int p = 3; p <= max_p; ++p) {
+          if ((fa.eval(p) < fb.eval(p)) == a_ahead) continue;
+          a_ahead = !a_ahead;
+          crossed = true;
+          const std::string& winner = a_ahead ? v[i].first : v[j].first;
+          const Fit& wf = a_ahead ? fa : fb;
+          const Fit& lf = a_ahead ? fb : fa;
+          std::cout << "  " << app << ": " << winner
+                    << " pulls ahead at p = " << p << " (predicted "
+                    << fmt(wf.eval(p), 4) << " s vs " << fmt(lf.eval(p), 4)
+                    << " s)\n";
+        }
+        if (!crossed) {
+          const std::string& fast = a_ahead ? v[i].first : v[j].first;
+          const std::string& slow = a_ahead ? v[j].first : v[i].first;
+          std::cout << "  " << app << ": " << fast << " stays ahead of "
+                    << slow << " through p = " << max_p << "\n";
+        }
+      }
+  }
+  return 0;
+}

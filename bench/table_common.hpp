@@ -30,6 +30,11 @@ struct Options {
   // its recorder, so the parallel sweep stays thread-safe; tracing never
   // charges simulated time, so all sim results are unchanged.
   bool breakdown = false;
+  // Trace every cell and run the critical-path / page-contention analyses
+  // on it (implies tracing for those cells; see bench/tables.cpp). Like
+  // --breakdown these are pure trace consumers: sim results are unchanged.
+  bool critpath = false;
+  bool pageheat = false;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
 };
@@ -51,6 +56,8 @@ inline Options parseArgs(int argc, char** argv) {
     std::string a = argv[i];
     if (a == "--full") o.full = true;
     else if (a == "--breakdown") o.breakdown = true;
+    else if (a == "--critpath") o.critpath = true;
+    else if (a == "--pageheat") o.pageheat = true;
     else if (a == "--compare-serial") o.compare_serial = true;
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
@@ -58,7 +65,8 @@ inline Options parseArgs(int argc, char** argv) {
     else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
-                   " [--breakdown] [--compare-serial]\n";
+                   " [--breakdown] [--critpath] [--pageheat]"
+                   " [--compare-serial]\n";
       std::exit(2);
     }
   }

@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
   auto opts = bench::parseArgs(argc, argv);
   if (opts.json.empty()) opts.json = "BENCH_tables.json";
   // The suite always traces: BENCH_tables.json carries a per-cell time
-  // breakdown, and tracing cannot perturb the simulated results.
+  // breakdown and critical-path attribution, and tracing cannot perturb
+  // the simulated results.
   opts.breakdown = true;
+  opts.critpath = true;
   const int jobs = harness::resolveJobs(opts.jobs);
 
   auto specs = bench::allTableSpecs(opts);

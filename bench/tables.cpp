@@ -8,6 +8,8 @@
 #include "bench/paper_params.hpp"
 #include "harness/parallel_runner.hpp"
 #include "obs/breakdown.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
 
@@ -32,23 +34,37 @@ std::string cellId(const std::string& app, const std::string& impl,
 
 // --- cell builders: one per (app, variant) pair -------------------------
 
+// Which trace analyses a cell should run; copied out of Options so the
+// cell lambdas stay self-contained.
+struct CellFlags {
+  bool traced = false;
+  bool critpath = false;
+  bool pageheat = false;
+};
+
+CellFlags flagsOf(const Options& o) {
+  return {o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat};
+}
+
 // Runs one cell, tracing it through a cell-local recorder when requested.
-// The recorder lives only for the run; the folded breakdown travels out by
+// The recorder lives only for the run; the folded analyses travel out by
 // value inside RunResult, and per-cell ownership keeps the parallel sweep
 // free of shared mutable state.
 template <typename RunFn>
-RunResult runCell(bool traced, harness::RunConfig cfg, RunFn&& run) {
+RunResult runCell(CellFlags flags, harness::RunConfig cfg, RunFn&& run) {
   obs::TraceRecorder rec;
-  if (traced) cfg.trace = &rec;
+  if (flags.traced) cfg.trace = &rec;
+  cfg.critpath = flags.critpath;
+  cfg.pageheat = flags.pageheat;
   return run(cfg);
 }
 
 Cell isCell(const Options& o, const std::string& impl, Protocol proto,
             IsVariant variant, int procs) {
   auto params = isParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("IS", impl, procs), [=] {
-                return runCell(traced, baseConfig(proto, procs),
+                return runCell(flags, baseConfig(proto, procs),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runIs(cfg, params, variant)
                                      .result;
@@ -58,9 +74,9 @@ Cell isCell(const Options& o, const std::string& impl, Protocol proto,
 
 Cell isSeqCell(const Options& o) {
   auto params = isParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("IS", "seq", 1), [=] {
-                return runCell(traced, sequentialConfig(),
+                return runCell(flags, sequentialConfig(),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runIs(cfg, params,
                                                     IsVariant::kTraditional)
@@ -72,9 +88,9 @@ Cell isSeqCell(const Options& o) {
 Cell gaussCell(const Options& o, const std::string& impl, Protocol proto,
                GaussVariant variant, int procs) {
   auto params = gaussParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("Gauss", impl, procs), [=] {
-                return runCell(traced, baseConfig(proto, procs),
+                return runCell(flags, baseConfig(proto, procs),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runGauss(cfg, params, variant)
                                      .result;
@@ -84,10 +100,10 @@ Cell gaussCell(const Options& o, const std::string& impl, Protocol proto,
 
 Cell gaussSeqCell(const Options& o) {
   auto params = gaussParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("Gauss", "seq", 1),
               [=] {
-                return runCell(traced, sequentialConfig(),
+                return runCell(flags, sequentialConfig(),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runGauss(
                                             cfg, params,
@@ -100,9 +116,9 @@ Cell gaussSeqCell(const Options& o) {
 Cell sorCell(const Options& o, const std::string& impl, Protocol proto,
              SorVariant variant, int procs) {
   auto params = sorParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("SOR", impl, procs), [=] {
-                return runCell(traced, baseConfig(proto, procs),
+                return runCell(flags, baseConfig(proto, procs),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runSor(cfg, params, variant)
                                      .result;
@@ -112,9 +128,9 @@ Cell sorCell(const Options& o, const std::string& impl, Protocol proto,
 
 Cell sorSeqCell(const Options& o) {
   auto params = sorParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("SOR", "seq", 1), [=] {
-                return runCell(traced, sequentialConfig(),
+                return runCell(flags, sequentialConfig(),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runSor(cfg, params,
                                                      SorVariant::kTraditional)
@@ -126,9 +142,9 @@ Cell sorSeqCell(const Options& o) {
 Cell nnCell(const Options& o, const std::string& impl, Protocol proto,
             NnVariant variant, int procs) {
   auto params = nnParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("NN", impl, procs), [=] {
-                return runCell(traced, baseConfig(proto, procs),
+                return runCell(flags, baseConfig(proto, procs),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runNn(cfg, params, variant)
                                      .result;
@@ -138,9 +154,9 @@ Cell nnCell(const Options& o, const std::string& impl, Protocol proto,
 
 Cell nnSeqCell(const Options& o) {
   auto params = nnParams(o.full);
-  const bool traced = o.breakdown;
+  const CellFlags flags = flagsOf(o);
   return Cell{cellId("NN", "seq", 1), [=] {
-                return runCell(traced, sequentialConfig(),
+                return runCell(flags, sequentialConfig(),
                                [&](const harness::RunConfig& cfg) {
                                  return apps::runNn(cfg, params,
                                                     NnVariant::kTraditional)
@@ -384,6 +400,17 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
            << ", \"fault_diff\": " << sim::toSeconds(b.fault_diff)
            << ", \"idle\": " << sim::toSeconds(b.idle) << "}";
       }
+      if (r.critpath.enabled()) {
+        // Critical-path attribution: the buckets partition the cell's
+        // makespan exactly, so these sum to sim_seconds.
+        const auto& cat = r.critpath.by_cat;
+        os << ", \"critpath_seconds\": {";
+        for (int c = 0; c < obs::kPathCatCount; ++c) {
+          os << (c ? ", " : "") << "\"" << obs::kPathCatName[c]
+             << "\": " << sim::toSeconds(cat[c]);
+        }
+        os << "}";
+      }
       os << "}" << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
     }
     os << "    ]}" << (s + 1 < specs.size() ? "," : "") << "\n";
@@ -399,6 +426,18 @@ int tableMain(const TableSpec& spec, const Options& o) {
       if (run.results[i].breakdown.enabled())
         obs::printBreakdown(std::cout, run.results[i].breakdown,
                             "Time breakdown: " + spec.cells[i].id);
+  }
+  if (o.critpath) {
+    for (size_t i = 0; i < spec.cells.size(); ++i)
+      if (run.results[i].critpath.enabled())
+        obs::printCriticalPath(std::cout, run.results[i].critpath,
+                               "Critical path: " + spec.cells[i].id);
+  }
+  if (o.pageheat) {
+    for (size_t i = 0; i < spec.cells.size(); ++i)
+      if (run.results[i].pageheat.enabled())
+        obs::printPageHeat(std::cout, run.results[i].pageheat,
+                           "Page contention: " + spec.cells[i].id);
   }
   if (!o.json.empty()) {
     std::ofstream f(o.json);

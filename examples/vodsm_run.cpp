@@ -21,6 +21,8 @@
 #include "apps/nn.hpp"
 #include "apps/sor.hpp"
 #include "obs/breakdown.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/page_heat.hpp"
 #include "obs/perfetto.hpp"
 #include "support/table.hpp"
 
@@ -39,6 +41,9 @@ namespace {
       "  --trace=FILE    write a Chrome/Perfetto trace of the run\n"
       "  --breakdown     print per-node simulated-time breakdown\n"
       "  --netstats      print per-message-kind traffic breakdown\n"
+      "  --critpath      print the run's critical-path attribution\n"
+      "  --pageheat      print per-page contention table\n"
+      "  --pageheat-csv=FILE  write the full per-page table as CSV\n"
       "  IS:    --keys=N --buckets=N --iters=N\n"
       "  Gauss: --n=N\n"
       "  SOR:   --rows=N --cols=N --iters=N\n"
@@ -82,15 +87,16 @@ void printResult(const std::string& title, const harness::RunResult& r,
 void printNetKinds(const net::NetStats& s) {
   std::printf("\nPer-kind traffic\n");
   TextTable t;
-  t.header({"kind", "messages", "payload (KB)", "rexmit"});
+  t.header({"kind", "messages", "payload (KB)", "rexmit", "drops"});
   for (int k = 0; k < net::kMsgClassCount; ++k) {
     const net::KindStats& ks = s.kind[k];
-    if (ks.messages == 0 && ks.retransmissions == 0) continue;
+    if (ks.messages == 0 && ks.retransmissions == 0 && ks.drops == 0)
+      continue;
     t.rowv(net::kMsgClassName[k], ks.messages,
            static_cast<double>(ks.payload_bytes) / 1000.0,
-           ks.retransmissions);
+           ks.retransmissions, ks.drops);
   }
-  t.rowv("acks", s.acks, 0.0, uint64_t{0});
+  t.rowv("acks", s.acks, 0.0, uint64_t{0}, s.ack_drops);
   t.print(std::cout);
 }
 
@@ -117,8 +123,15 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get("trace", "");
   const bool want_breakdown = args.kv.count("breakdown") > 0;
   const bool want_netstats = args.kv.count("netstats") > 0;
+  const bool want_critpath = args.kv.count("critpath") > 0;
+  const bool want_pageheat = args.kv.count("pageheat") > 0;
+  const std::string pageheat_csv = args.get("pageheat-csv", "");
   obs::TraceRecorder recorder;
-  if (!trace_path.empty() || want_breakdown) cfg.trace = &recorder;
+  if (!trace_path.empty() || want_breakdown || want_critpath || want_pageheat ||
+      !pageheat_csv.empty())
+    cfg.trace = &recorder;
+  cfg.critpath = want_critpath;
+  cfg.pageheat = want_pageheat || !pageheat_csv.empty();
   if (runtime == "lrc_d") cfg.protocol = dsm::Protocol::kLrcDiff;
   else if (runtime == "vc_d") cfg.protocol = dsm::Protocol::kVcDiff;
   else if (runtime == "vc_sd" || runtime == "mpi")
@@ -182,6 +195,20 @@ int main(int argc, char** argv) {
   if (want_netstats) printNetKinds(result.net);
   if (want_breakdown && result.breakdown.enabled())
     obs::printBreakdown(std::cout, result.breakdown, "Time breakdown");
+  if (want_critpath)
+    obs::printCriticalPath(std::cout, result.critpath, "Critical path");
+  if (want_pageheat)
+    obs::printPageHeat(std::cout, result.pageheat, "Page contention");
+  if (!pageheat_csv.empty()) {
+    std::ofstream os(pageheat_csv, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", pageheat_csv.c_str());
+      return 1;
+    }
+    obs::writePageHeatCsv(os, result.pageheat);
+    std::printf("\npage heat: %zu pages -> %s\n", result.pageheat.rows.size(),
+                pageheat_csv.c_str());
+  }
   if (!trace_path.empty()) {
     std::ofstream os(trace_path, std::ios::binary);
     if (!os) {

@@ -303,10 +303,7 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
   });
 
   IsRun out;
-  out.result.seconds = cluster.seconds();
-  out.result.dsm = cluster.dsmStats();
-  out.result.net = cluster.netStats();
-  out.result.breakdown = cluster.breakdown();
+  harness::collectResult(cluster, config, out.result);
   out.rank_sums.resize(static_cast<size_t>(config.nprocs));
   auto raw = cluster.memoryOf(0, lay.result_off,
                               static_cast<size_t>(config.nprocs) * 8);

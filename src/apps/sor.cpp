@@ -302,10 +302,7 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
   });
 
   SorRun out;
-  out.result.seconds = cluster.seconds();
-  out.result.dsm = cluster.dsmStats();
-  out.result.net = cluster.netStats();
-  out.result.breakdown = cluster.breakdown();
+  harness::collectResult(cluster, config, out.result);
   auto raw = cluster.memoryOf(0, lay.result_off, 8);
   std::memcpy(&out.checksum, raw.data(), 8);
   return out;

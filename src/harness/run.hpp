@@ -8,6 +8,8 @@
 #include "net/stats.hpp"
 #include "net/types.hpp"
 #include "obs/breakdown.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 
 namespace vodsm::harness {
@@ -20,6 +22,10 @@ struct RunConfig {
   uint64_t seed = 42;
   // Caller-owned recorder; null disables tracing (see vopp::ClusterOptions).
   obs::TraceRecorder* trace = nullptr;
+  // Trace analyses to fold into the result (require `trace`). Pure
+  // post-processing: they never change what the run computes.
+  bool critpath = false;
+  bool pageheat = false;
 };
 
 // Everything the paper's statistics tables report about one run.
@@ -30,6 +36,10 @@ struct RunResult {
   // Per-node time buckets folded from the trace; empty unless the run was
   // traced (RunConfig::trace). Kept by value so it outlives the recorder.
   obs::Breakdown breakdown;
+  // Critical-path and per-page contention analyses; empty unless requested
+  // via RunConfig::critpath / pageheat on a traced run.
+  obs::CriticalPath critpath;
+  obs::PageHeat pageheat;
 
   double dataMBytes() const {
     return static_cast<double>(net.payload_bytes) / 1e6;
@@ -40,5 +50,22 @@ struct RunResult {
   // Barrier *episodes* (program-level barrier count, as the paper reports).
   uint64_t barrierEpisodes() const { return dsm.barriers; }
 };
+
+// Copies the standard result fields out of a finished cluster, honoring the
+// analysis toggles. Templated so this header does not depend on the vopp
+// layer; any type with seconds()/dsmStats()/netStats()/breakdown()/
+// criticalPath()/pageHeat() works.
+template <typename ClusterT>
+void collectResult(const ClusterT& cluster, const RunConfig& cfg,
+                   RunResult& out) {
+  out.seconds = cluster.seconds();
+  out.dsm = cluster.dsmStats();
+  out.net = cluster.netStats();
+  if (cfg.trace) {
+    out.breakdown = cluster.breakdown();
+    if (cfg.critpath) out.critpath = cluster.criticalPath();
+    if (cfg.pageheat) out.pageheat = cluster.pageHeat();
+  }
+}
 
 }  // namespace vodsm::harness

@@ -22,6 +22,33 @@
 
 namespace vodsm::net {
 
+// Frame-header peeking. The layout is owned by the transport's encode()
+// (kind u8, seq u64 LE, type u16 LE, length-prefixed blob); the network
+// reads it only to attribute drops per message class and to derive wire
+// correlation ids — frames stay opaque otherwise. Pure-ack frames are
+// header-only (kind + seq) and carry no message type.
+inline uint8_t frameKind(const Bytes& frame) {
+  return std::to_integer<uint8_t>(frame[0]);
+}
+inline uint64_t frameSeq(const Bytes& frame) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | std::to_integer<uint64_t>(frame[static_cast<size_t>(1 + i)]);
+  return v;
+}
+inline uint16_t frameMsgType(const Bytes& frame) {
+  return static_cast<uint16_t>(std::to_integer<uint16_t>(frame[9]) |
+                               (std::to_integer<uint16_t>(frame[10]) << 8));
+}
+
+// The node whose sequence-number space `frame` belongs to: replies and acks
+// quote the original requester's sequence number, everything else uses the
+// sender's own. (send-side view: src is the frame's sender, dst its target.)
+inline NodeId frameSeqOwner(const Bytes& frame, NodeId src, NodeId dst) {
+  const auto k = static_cast<FrameKind>(frameKind(frame));
+  return (k == FrameKind::kReply || k == FrameKind::kAck) ? dst : src;
+}
+
 class Network {
  public:
   // Called when a frame clears the receiver's software stack.
@@ -49,6 +76,11 @@ class Network {
   // Optional event recorder for frame drops (random loss, NIC overflow).
   // Drops are charged to the would-be receiver's net track.
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+
+  // Maps the dropped frame's u16 message type onto a MsgClass so drops are
+  // attributed per class in NetStats. Without one, non-ack drops land in
+  // kOther (pure-ack drops are counted separately either way).
+  void setClassifier(Classifier c) { classify_ = c; }
 
   // Inject a frame from src to dst no earlier than `earliest` (typically the
   // sender's local clock). The caller has already decided the frame is worth
@@ -88,12 +120,30 @@ class Network {
                });
   }
 
+  // Shared bookkeeping for both drop sites: per-class counters plus the
+  // kDrop trace instant, charged to the would-be receiver. The correlation
+  // id carries the frame kind, so consumers can attribute the drop to the
+  // same flow as the original send.
+  void recordDrop(NodeId src, NodeId dst, const Bytes& frame) {
+    if (static_cast<FrameKind>(frameKind(frame)) == FrameKind::kAck) {
+      stats_.ack_drops++;
+    } else {
+      MsgClass c =
+          classify_ ? classify_(frameMsgType(frame)) : MsgClass::kOther;
+      stats_.of(c).drops++;
+    }
+    if (trace_)
+      trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
+                      engine_.now(), src, frame.size(),
+                      obs::corrId(frameKind(frame),
+                                  frameSeqOwner(frame, src, dst),
+                                  frameSeq(frame)));
+  }
+
   void arriveSwitch(NodeId src, NodeId dst, Bytes frame) {
     if (config_.random_loss > 0 && rng_.chance(config_.random_loss)) {
       stats_.frames_dropped_random++;
-      if (trace_)
-        trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
-                        engine_.now(), src, frame.size());
+      recordDrop(src, dst, frame);
       return;
     }
     Port& p = port(dst);
@@ -109,9 +159,7 @@ class Network {
     Port& p = port(dst);
     if (p.rx_queue_depth >= config_.rx_queue_frames) {
       stats_.frames_dropped_overflow++;
-      if (trace_)
-        trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
-                        engine_.now(), src, frame.size());
+      recordDrop(src, dst, frame);
       return;
     }
     p.rx_queue_depth++;
@@ -131,6 +179,7 @@ class Network {
   sim::Rng rng_;
   NetStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  Classifier classify_ = nullptr;
   std::vector<Port> ports_;
 };
 

@@ -32,11 +32,17 @@ inline constexpr const char* kMsgClassName[kMsgClassCount] = {
     "barrier", "data",  "other",
 };
 
+// Maps the opaque u16 message type onto a MsgClass. Installed by the
+// protocol layer on endpoints (send attribution) and on the network (drop
+// attribution); without one all traffic counts as kOther.
+using Classifier = MsgClass (*)(uint16_t type);
+
 // Per-class slice of the transport counters below.
 struct KindStats {
   uint64_t messages = 0;
   uint64_t payload_bytes = 0;
   uint64_t retransmissions = 0;
+  uint64_t drops = 0;  // frames of this class lost in flight (loss/overflow)
 };
 
 struct NetStats {
@@ -50,12 +56,15 @@ struct NetStats {
   // Transport-level (protocol view).
   uint64_t messages = 0;       // non-ack sends, including retransmissions
   uint64_t acks = 0;           // pure ack frames
+  uint64_t ack_drops = 0;      // pure ack frames lost in flight
   uint64_t payload_bytes = 0;  // payload of non-ack sends
   uint64_t retransmissions = 0;
 
   // Transport counters above, split by message class. Sums over the array
   // equal messages/payload_bytes/retransmissions exactly: every send and
-  // every retransmission is attributed to one class.
+  // every retransmission is attributed to one class. Drops are attributed
+  // by the class of the dropped frame; per-class drops plus ack_drops equal
+  // frames_dropped_overflow + frames_dropped_random exactly.
   KindStats kind[kMsgClassCount];
 
   KindStats& of(MsgClass c) { return kind[static_cast<size_t>(c)]; }

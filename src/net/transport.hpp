@@ -30,9 +30,6 @@
 
 namespace vodsm::net {
 
-// Message kinds on the wire.
-enum class FrameKind : uint8_t { kData = 0, kRequest = 1, kReply = 2, kAck = 3 };
-
 struct Delivery {
   NodeId src = 0;
   uint16_t type = 0;
@@ -97,7 +94,6 @@ class Endpoint {
   // Maps the opaque u16 message type onto a MsgClass for the per-kind
   // traffic breakdown. Installed by the protocol layer; without one all
   // traffic counts as kOther.
-  using Classifier = MsgClass (*)(uint16_t type);
   void setClassifier(Classifier c) { classify_ = c; }
 
   // Optional event recorder for send/deliver/retransmit instants. Null (the
@@ -113,7 +109,8 @@ class Endpoint {
       return;
     }
     countSend(type, payload.size());
-    traceSend(type, payload.size(), earliest);
+    traceSend(type, payload.size(), earliest,
+              obs::corrId(static_cast<uint8_t>(FrameKind::kData), self_, seq));
     auto [it, inserted] = pending_posts_.emplace(seq, Pending{dst, frame});
     VODSM_CHECK(inserted);
     network_.send(self_, dst, std::move(frame), earliest);
@@ -134,7 +131,9 @@ class Endpoint {
       sendLocal(std::move(frame), earliest);
     } else {
       countSend(type, payload.size());
-      traceSend(type, payload.size(), earliest);
+      traceSend(
+          type, payload.size(), earliest,
+          obs::corrId(static_cast<uint8_t>(FrameKind::kRequest), self_, seq));
       p->dst = dst;
       p->frame = frame;
       network_.send(self_, dst, std::move(frame), earliest);
@@ -157,7 +156,9 @@ class Endpoint {
     }
     cacheReply(token.requester, token.seq, frame);
     countSend(type, payload.size());
-    traceSend(type, payload.size(), earliest);
+    traceSend(type, payload.size(), earliest,
+              obs::corrId(static_cast<uint8_t>(FrameKind::kReply),
+                          token.requester, token.seq));
     network_.send(self_, token.requester, std::move(frame), earliest);
   }
 
@@ -200,24 +201,31 @@ class Endpoint {
     k.payload_bytes += payload_bytes;
   }
 
-  void traceSend(uint16_t type, size_t payload_bytes, sim::Time ts) {
+  void traceSend(uint16_t type, size_t payload_bytes, sim::Time ts,
+                 uint64_t corr) {
     if (trace_)
       trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kSend, ts, type,
-                      payload_bytes);
+                      payload_bytes, corr);
   }
 
   // A retransmission counts as another message of the frame's class (the
   // paper's message counts include retransmissions) and is attributed to
-  // that class separately so hot spots under loss are visible.
-  void countRetransmit(const Bytes& frame) {
-    const uint16_t type = frameType(frame);
+  // that class separately so hot spots under loss are visible. `dst` is the
+  // frame's target, needed to recover the sequence-number owner for the
+  // correlation id (replies quote the requester's sequence space).
+  void countRetransmit(const Bytes& frame, NodeId dst) {
+    const uint16_t type = frameMsgType(frame);
     stats().retransmissions++;
     stats().of(classify(type)).retransmissions++;
     countSend(type, payloadSize(frame));
-    // Deliberately not also a kSend instant: one event per wire action.
+    // Deliberately not also a kSend instant: one event per wire action. The
+    // correlation id ties the retransmission to the original send's flow.
     if (trace_)
       trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kRetransmit,
-                      engine_.now(), type, payloadSize(frame));
+                      engine_.now(), type, payloadSize(frame),
+                      obs::corrId(frameKind(frame),
+                                  frameSeqOwner(frame, self_, dst),
+                                  frameSeq(frame)));
   }
 
   void sendLocal(Bytes frame, sim::Time earliest) {
@@ -231,7 +239,7 @@ class Endpoint {
     engine_.after(network_.config().rto, [this, seq, epoch] {
       auto it = pending_posts_.find(seq);
       if (it == pending_posts_.end() || it->second.epoch != epoch) return;
-      countRetransmit(it->second.frame);
+      countRetransmit(it->second.frame, it->second.dst);
       network_.send(self_, it->second.dst, Bytes(it->second.frame),
                     engine_.now());
       armPostTimer(seq, epoch);
@@ -242,7 +250,7 @@ class Endpoint {
     engine_.after(network_.config().rto, [this, seq, epoch] {
       auto it = pending_rpcs_.find(seq);
       if (it == pending_rpcs_.end() || it->second->epoch != epoch) return;
-      countRetransmit(it->second->frame);
+      countRetransmit(it->second->frame, it->second->dst);
       network_.send(self_, it->second->dst, Bytes(it->second->frame),
                     engine_.now());
       armRpcTimer(seq, epoch);
@@ -254,19 +262,15 @@ class Endpoint {
     return frame.size() - 15;
   }
 
-  // The message type lives at offset 9, after kind(1) + seq(8).
-  static uint16_t frameType(const Bytes& frame) {
-    return static_cast<uint16_t>(frame[9]) |
-           static_cast<uint16_t>(static_cast<uint16_t>(frame[10]) << 8);
-  }
-
   void onFrame(NodeId src, Bytes frame, sim::Time arrive, bool via_wire) {
     Reader r(frame);
     const auto kind = static_cast<FrameKind>(r.u8());
     const uint64_t seq = r.u64();
     if (trace_ && via_wire)
       trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kDeliver, arrive,
-                      static_cast<uint64_t>(kind), frame.size());
+                      static_cast<uint64_t>(kind), frame.size(),
+                      obs::corrId(static_cast<uint8_t>(kind),
+                                  frameSeqOwner(frame, src, self_), seq));
     switch (kind) {
       case FrameKind::kAck: {
         auto it = pending_posts_.find(seq);
@@ -304,7 +308,7 @@ class Endpoint {
           if (cit != reply_cache_.end()) {
             auto rit = cit->second.find(seq);
             if (rit != cit->second.end() && via_wire) {
-              countRetransmit(rit->second);
+              countRetransmit(rit->second, src);
               network_.send(self_, src, Bytes(rit->second), engine_.now());
             }
           }
@@ -344,6 +348,14 @@ class Endpoint {
     w.u8(static_cast<uint8_t>(FrameKind::kAck));
     w.u64(seq);
     stats().acks++;
+    // Acks are counted outside the message statistics, but they are traced:
+    // graph analysis wants every deliver to have a matching send. Type 0 is
+    // reserved (protocol message types start at 1).
+    if (trace_)
+      trace_->instant(static_cast<uint32_t>(self_), obs::Cat::kSend,
+                      engine_.now(), 0, 0,
+                      obs::corrId(static_cast<uint8_t>(FrameKind::kAck), src,
+                                  seq));
     network_.send(self_, src, w.take(), engine_.now());
   }
 

@@ -10,6 +10,10 @@ namespace vodsm::net {
 
 using NodeId = uint32_t;
 
+// Message kinds on the wire. Shared between the transport (which encodes
+// them) and the network model (which peeks at them to attribute drops).
+enum class FrameKind : uint8_t { kData = 0, kRequest = 1, kReply = 2, kAck = 3 };
+
 // Models the paper's testbed: a 100 Mbps N-way switched Ethernet connecting
 // Linux PCs, with UDP-style user-level reliability. Every parameter is
 // explicit so experiments can ablate them.

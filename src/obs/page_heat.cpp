@@ -1,0 +1,126 @@
+#include "obs/page_heat.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace vodsm::obs {
+
+namespace {
+
+struct Acc {
+  PageHeatRow row;
+  std::set<uint32_t> sharers;
+  std::set<uint32_t> writers;
+};
+
+}  // namespace
+
+PageHeat foldPageHeat(const TraceRecorder& trace) {
+  // Keyed by page id; std::map keeps the output order deterministic.
+  std::map<uint64_t, Acc> pages;
+  // Different nodes can fault on the same page concurrently, so open fault
+  // spans are matched per (page, node); a node faults one page at a time.
+  std::map<std::pair<uint64_t, uint32_t>, sim::Time> open_faults;
+  auto touch = [&](uint64_t page, uint32_t node) -> Acc& {
+    Acc& a = pages[page];
+    a.row.page = page;
+    a.sharers.insert(node);
+    return a;
+  };
+
+  for (const Event& e : trace.events()) {
+    if (e.node == kEngineNode) continue;
+    switch (e.cat) {
+      case Cat::kFault: {
+        Acc& a = touch(e.a0, e.node);
+        if (e.phase == Phase::kBegin) {
+          open_faults[{e.a0, e.node}] = e.ts;
+          break;
+        }
+        if (e.phase != Phase::kEnd) break;
+        auto it = open_faults.find({e.a0, e.node});
+        if (it == open_faults.end()) break;
+        a.row.faults++;
+        a.row.fault_time += e.ts - it->second;
+        open_faults.erase(it);
+        break;
+      }
+      case Cat::kTwin:
+        touch(e.a0, e.node).row.twins++;
+        break;
+      case Cat::kDiffApply: {
+        Acc& a = touch(e.a0, e.node);
+        a.row.diff_applies++;
+        a.row.diff_bytes += e.a1;
+        break;
+      }
+      case Cat::kNotice: {
+        Acc& a = touch(e.a0, e.node);
+        a.row.notices++;
+        a.writers.insert(static_cast<uint32_t>(e.a1));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  PageHeat out;
+  out.rows.reserve(pages.size());
+  for (auto& [page, a] : pages) {
+    a.row.sharers = static_cast<uint32_t>(a.sharers.size());
+    a.row.writers = static_cast<uint32_t>(a.writers.size());
+    out.rows.push_back(a.row);
+  }
+  return out;
+}
+
+void printPageHeat(std::ostream& os, const PageHeat& heat,
+                   const std::string& title, size_t max_rows) {
+  os << "\n" << title << "\n";
+  std::vector<const PageHeatRow*> hot;
+  hot.reserve(heat.rows.size());
+  for (const PageHeatRow& r : heat.rows) hot.push_back(&r);
+  std::sort(hot.begin(), hot.end(),
+            [](const PageHeatRow* a, const PageHeatRow* b) {
+              if (a->fault_time != b->fault_time)
+                return a->fault_time > b->fault_time;
+              if (a->faults != b->faults) return a->faults > b->faults;
+              return a->page < b->page;
+            });
+  TextTable t;
+  t.header({"page", "faults", "fault ms", "twins", "applies", "diff KB",
+            "notices", "sharers", "writers"});
+  for (size_t i = 0; i < hot.size() && i < max_rows; ++i) {
+    const PageHeatRow& r = *hot[i];
+    std::ostringstream ms, kb;
+    ms << std::fixed << std::setprecision(3)
+       << sim::toSeconds(r.fault_time) * 1e3;
+    kb << std::fixed << std::setprecision(1)
+       << static_cast<double>(r.diff_bytes) / 1024.0;
+    t.row({std::to_string(r.page), TextTable::format(r.faults), ms.str(),
+           TextTable::format(r.twins), TextTable::format(r.diff_applies),
+           kb.str(), TextTable::format(r.notices),
+           std::to_string(r.sharers), std::to_string(r.writers)});
+  }
+  t.print(os);
+  if (hot.size() > max_rows)
+    os << "(" << hot.size() - max_rows << " cooler pages elided; CSV export "
+       << "has all " << hot.size() << ")\n";
+}
+
+void writePageHeatCsv(std::ostream& os, const PageHeat& heat) {
+  os << "page,faults,fault_seconds,twins,diff_applies,diff_bytes,notices,"
+     << "sharers,writers\n";
+  for (const PageHeatRow& r : heat.rows) {
+    os << r.page << ',' << r.faults << ',' << sim::toSeconds(r.fault_time)
+       << ',' << r.twins << ',' << r.diff_applies << ',' << r.diff_bytes
+       << ',' << r.notices << ',' << r.sharers << ',' << r.writers << '\n';
+  }
+}
+
+}  // namespace vodsm::obs

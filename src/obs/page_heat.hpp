@@ -1,0 +1,52 @@
+// Per-page contention accounting over a recorded trace.
+//
+// Folds the page-indexed protocol events — kFault spans, kTwin, kDiffApply
+// and kNotice instants — by page id into one row per page: how often the
+// page faulted and how long those faults took, how many twins and diff
+// applications it saw, how many distinct nodes touched it, and how many
+// distinct writers its write notices named. Sorting by fault time surfaces
+// exactly the false-sharing hot spots the paper's Gauss in-place vs
+// local-buffer contrast is about: a page with many sharers, many notices
+// and heavy diff traffic is being ping-ponged.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace vodsm::obs {
+
+struct PageHeatRow {
+  uint64_t page = 0;
+  uint64_t faults = 0;          // completed kFault spans
+  sim::Time fault_time = 0;     // summed kFault span length
+  uint64_t twins = 0;
+  uint64_t diff_applies = 0;
+  uint64_t diff_bytes = 0;      // summed kDiffApply bytes
+  uint64_t notices = 0;
+  uint32_t sharers = 0;         // distinct nodes with any event on the page
+  uint32_t writers = 0;         // distinct writer nodes named by notices
+};
+
+struct PageHeat {
+  std::vector<PageHeatRow> rows;  // sorted by page id
+
+  bool enabled() const { return !rows.empty(); }
+};
+
+// Folds `trace` into per-page rows. Engine pseudo-node events are skipped.
+PageHeat foldPageHeat(const TraceRecorder& trace);
+
+// Renders the `max_rows` hottest pages (by fault time, then fault count) as
+// a fixed-width table.
+void printPageHeat(std::ostream& os, const PageHeat& heat,
+                   const std::string& title, size_t max_rows = 16);
+
+// Writes every row as CSV (header + one line per page, page-id order).
+void writePageHeatCsv(std::ostream& os, const PageHeat& heat);
+
+}  // namespace vodsm::obs

@@ -55,7 +55,7 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
     first = false;
     os << line;
   };
-  char buf[256];
+  char buf[320];
 
   std::vector<bool> named(static_cast<size_t>(engine_pid) + 1, false);
   for (const Event& e : events) {
@@ -96,6 +96,15 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
     if (e.phase == Phase::kInstant)
       n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
                          ",\"s\":\"t\"");
+    // Flow binding: net-track events sharing a wire correlation id are
+    // connected with arrows in the viewer. Sends and retransmissions start
+    // (or continue) the flow; delivers and drops terminate a step of it.
+    if (e.corr != kNoCorr) {
+      const bool out = e.cat == Cat::kSend || e.cat == Cat::kRetransmit;
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                         ",\"bind_id\":\"0x%" PRIx64 "\",\"%s\":true",
+                         e.corr, out ? "flow_out" : "flow_in");
+    }
     // End events inherit the begin's args in the viewer; skip re-encoding.
     if (e.phase != Phase::kEnd && info.arg0) {
       n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
@@ -103,6 +112,12 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
       if (info.arg1)
         n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
                            ",\"%s\":%" PRIu64, info.arg1, e.a1);
+      // kDrop's correlation id carries the dropped frame's kind; decode it
+      // so drops are attributable per class without chasing the flow.
+      if (e.cat == Cat::kDrop && e.corr != kNoCorr)
+        n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                           ",\"kind\":%u",
+                           static_cast<unsigned>(corrKind(e.corr)));
       n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), "}");
     }
     std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), "}");

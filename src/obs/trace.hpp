@@ -12,15 +12,20 @@
 //  * Near-zero overhead when disabled. Every instrumentation site guards on
 //    a runtime-checked recorder pointer (`if (auto* t = ctx.trace) ...`);
 //    when the pointer is null the cost is one predictable branch.
-//  * No formatting on the hot path. An Event is a 32-byte POD — category
-//    and phase enums plus two opaque argument words; names and argument
-//    labels are resolved from static tables only at export time.
+//  * No formatting on the hot path. An Event is a 40-byte POD — category
+//    and phase enums, two opaque argument words, and a wire correlation id;
+//    names and argument labels are resolved from static tables only at
+//    export time.
 //
 // Consumers: obs/perfetto.hpp renders the event list as Chrome trace-event
 // JSON (one process per node, one thread per track); obs/breakdown.hpp
-// folds the spans into per-node time buckets.
+// folds the spans into per-node time buckets; obs/graph.hpp reconstructs
+// the run DAG (send->deliver via correlation ids, grant/fold wakeup edges)
+// for obs/critical_path.hpp; obs/page_heat.hpp folds page-indexed instants
+// into a contention table.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -54,10 +59,10 @@ enum class Cat : uint8_t {
   kGrant,          // a0 = lock/view id, a1 = requester (manager side)
   kBarrFold,       // a0 = barrier, a1 = notices merged (manager side)
   // net track (instants)
-  kSend,           // a0 = message type, a1 = payload bytes
-  kDeliver,        // a0 = frame kind, a1 = frame bytes
-  kRetransmit,     // a0 = message type, a1 = payload bytes
-  kDrop,           // a0 = sender, a1 = frame bytes
+  kSend,           // a0 = message type, a1 = payload bytes (corr set)
+  kDeliver,        // a0 = frame kind, a1 = frame bytes (corr set)
+  kRetransmit,     // a0 = message type, a1 = payload bytes (corr set)
+  kDrop,           // a0 = sender, a1 = frame bytes (corr carries frame kind)
   // engine pseudo-node (span)
   kEngineRun,      // a0 = events processed (on end)
   kCatCount,
@@ -69,10 +74,38 @@ enum class Phase : uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
 // than to one simulated node (engine lifecycle).
 inline constexpr uint32_t kEngineNode = UINT32_MAX;
 
+// Wire correlation id: a nonzero token shared by every net-track event that
+// concerns the same transport frame (send, its retransmissions, its drops,
+// its delivery), so graph analysis can match send->deliver edges. The id is
+// *derived*, never carried on the wire: both sides compute it from the frame
+// header they already have — the frame kind, the node that owns the sequence
+// number (the original requester for replies and acks, the sender
+// otherwise), and the per-owner sequence number. This keeps frame sizes, and
+// therefore every simulated transmission time, identical to untraced runs.
+inline constexpr uint64_t kNoCorr = 0;
+inline constexpr uint64_t corrId(uint8_t frame_kind, uint32_t seq_owner,
+                                 uint64_t seq) {
+  // kind+1 in the top byte keeps the id nonzero; 40 bits of sequence is
+  // ~10^12 messages per owner, far beyond any run.
+  return (static_cast<uint64_t>(frame_kind + 1) << 56) |
+         (static_cast<uint64_t>(seq_owner) << 40) |
+         (seq & 0xFF'FFFF'FFFFull);
+}
+inline constexpr uint8_t corrKind(uint64_t corr) {
+  return static_cast<uint8_t>((corr >> 56) - 1);
+}
+inline constexpr uint32_t corrOwner(uint64_t corr) {
+  return static_cast<uint32_t>((corr >> 40) & 0xFFFF);
+}
+inline constexpr uint64_t corrSeq(uint64_t corr) {
+  return corr & 0xFF'FFFF'FFFFull;
+}
+
 struct Event {
   sim::Time ts = 0;   // simulated nanoseconds
   uint64_t a0 = 0;
   uint64_t a1 = 0;
+  uint64_t corr = kNoCorr;  // wire correlation id; 0 = not a wire event
   uint32_t node = 0;
   Cat cat = Cat::kProgram;
   Phase phase = Phase::kInstant;
@@ -81,7 +114,7 @@ struct Event {
   // determinism tests compare event streams bytewise) sees defined memory.
   uint8_t reserved = 0;
 };
-static_assert(sizeof(Event) == 32, "Event is sized for bulk recording");
+static_assert(sizeof(Event) == 40, "Event is sized for bulk recording");
 
 // Export-time metadata for one category; resolved from kCatInfo, never on
 // the recording path.
@@ -122,16 +155,18 @@ class TraceRecorder {
  public:
   void begin(uint32_t node, Cat c, sim::Time ts, uint64_t a0 = 0,
              uint64_t a1 = 0) {
-    events_.push_back({ts, a0, a1, node, c, Phase::kBegin, catInfo(c).track});
+    events_.push_back(
+        {ts, a0, a1, kNoCorr, node, c, Phase::kBegin, catInfo(c).track});
   }
   void end(uint32_t node, Cat c, sim::Time ts, uint64_t a0 = 0,
            uint64_t a1 = 0) {
-    events_.push_back({ts, a0, a1, node, c, Phase::kEnd, catInfo(c).track});
+    events_.push_back(
+        {ts, a0, a1, kNoCorr, node, c, Phase::kEnd, catInfo(c).track});
   }
   void instant(uint32_t node, Cat c, sim::Time ts, uint64_t a0 = 0,
-               uint64_t a1 = 0) {
-    events_.push_back({ts, a0, a1, node, c, Phase::kInstant,
-                       catInfo(c).track});
+               uint64_t a1 = 0, uint64_t corr = kNoCorr) {
+    events_.push_back(
+        {ts, a0, a1, corr, node, c, Phase::kInstant, catInfo(c).track});
   }
 
   const std::vector<Event>& events() const { return events_; }

@@ -1,0 +1,280 @@
+// Minimal JSON DOM with a recursive-descent parser; no dependencies.
+//
+// Just enough of RFC 8259 for the repo's own artifacts (BENCH_tables.json,
+// exported traces): null/bool/number/string/array/object, nesting, and the
+// usual escapes (\uXXXX is decoded to UTF-8). Numbers are stored as double —
+// fine for the second-resolution figures the bench tools consume. Object
+// members keep file order and are looked up linearly; the documents involved
+// have a handful of keys per object, so no index is worth its weight.
+//
+// Malformed input throws vodsm::Error with a byte offset, as do type-mismatch
+// accessors, so tools fail loudly on a stale or hand-edited artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace vodsm::support {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;
+
+  static Json parse(std::string_view text) {
+    Parser p{text, 0};
+    Json v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size()) p.fail("trailing characters after value");
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isObject() const { return type_ == Type::kObject; }
+  bool isArray() const { return type_ == Type::kArray; }
+
+  bool asBool() const {
+    expect(Type::kBool, "bool");
+    return num_ != 0;
+  }
+  double asNumber() const {
+    expect(Type::kNumber, "number");
+    return num_;
+  }
+  const std::string& asString() const {
+    expect(Type::kString, "string");
+    return str_;
+  }
+  const std::vector<Json>& items() const {
+    expect(Type::kArray, "array");
+    return items_;
+  }
+  const std::vector<Member>& members() const {
+    expect(Type::kObject, "object");
+    return members_;
+  }
+
+  // Object lookup; null when the key is absent.
+  const Json* find(std::string_view key) const {
+    expect(Type::kObject, "object");
+    for (const Member& m : members_)
+      if (m.first == key) return &m.second;
+    return nullptr;
+  }
+  const Json& at(std::string_view key) const {
+    const Json* v = find(key);
+    VODSM_CHECK_MSG(v != nullptr, "missing JSON key: " + std::string(key));
+    return *v;
+  }
+
+ private:
+  void expect(Type t, const char* name) const {
+    VODSM_CHECK_MSG(type_ == t,
+                    std::string("JSON value is not a ") + name);
+  }
+
+  struct Parser {
+    std::string_view text;
+    size_t pos;
+
+    [[noreturn]] void fail(const std::string& why) const {
+      throw Error("JSON parse error at byte " + std::to_string(pos) + ": " +
+                  why);
+    }
+    void skipWs() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+              text[pos] == '\r'))
+        ++pos;
+    }
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+    void consume(char c) {
+      if (peek() != c) fail(std::string("expected '") + c + "'");
+      ++pos;
+    }
+    bool eat(char c) {
+      if (pos < text.size() && text[pos] == c) {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+    void literal(std::string_view word) {
+      if (text.substr(pos, word.size()) != word)
+        fail("invalid literal");
+      pos += word.size();
+    }
+
+    Json parseValue() {
+      skipWs();
+      switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return Json::str(parseString());
+        case 't': literal("true"); return Json::boolean(true);
+        case 'f': literal("false"); return Json::boolean(false);
+        case 'n': literal("null"); return Json();
+        default: return parseNumber();
+      }
+    }
+
+    Json parseObject() {
+      consume('{');
+      Json v;
+      v.type_ = Type::kObject;
+      skipWs();
+      if (eat('}')) return v;
+      while (true) {
+        skipWs();
+        std::string key = parseString();
+        skipWs();
+        consume(':');
+        v.members_.emplace_back(std::move(key), parseValue());
+        skipWs();
+        if (eat('}')) return v;
+        consume(',');
+      }
+    }
+
+    Json parseArray() {
+      consume('[');
+      Json v;
+      v.type_ = Type::kArray;
+      skipWs();
+      if (eat(']')) return v;
+      while (true) {
+        v.items_.push_back(parseValue());
+        skipWs();
+        if (eat(']')) return v;
+        consume(',');
+      }
+    }
+
+    std::string parseString() {
+      consume('"');
+      std::string out;
+      while (true) {
+        char c = peek();
+        ++pos;
+        if (c == '"') return out;
+        if (static_cast<unsigned char>(c) < 0x20)
+          fail("unescaped control character in string");
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        char e = peek();
+        ++pos;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': appendCodepoint(out, parseHex4()); break;
+          default: fail("invalid escape");
+        }
+      }
+    }
+
+    uint32_t parseHex4() {
+      uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        char c = peek();
+        ++pos;
+        v <<= 4;
+        if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+        else fail("invalid \\u escape");
+      }
+      return v;
+    }
+
+    void appendCodepoint(std::string& out, uint32_t cp) {
+      // Combine a surrogate pair when one follows; a lone surrogate is kept
+      // as-is (these artifacts never contain one, but don't crash on it).
+      if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() &&
+          text[pos] == '\\' && text[pos + 1] == 'u') {
+        pos += 2;
+        uint32_t lo = parseHex4();
+        if (lo >= 0xDC00 && lo <= 0xDFFF)
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      }
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    }
+
+    Json parseNumber() {
+      const size_t start = pos;
+      eat('-');
+      while (pos < text.size() &&
+             ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+              text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+              text[pos] == '-'))
+        ++pos;
+      if (pos == start) fail("invalid value");
+      const std::string tok(text.substr(start, pos - start));
+      size_t used = 0;
+      double d = 0;
+      try {
+        d = std::stod(tok, &used);
+      } catch (const std::exception&) {
+        fail("invalid number '" + tok + "'");
+      }
+      if (used != tok.size()) fail("invalid number '" + tok + "'");
+      Json v;
+      v.type_ = Type::kNumber;
+      v.num_ = d;
+      return v;
+    }
+  };
+
+  static Json boolean(bool b) {
+    Json v;
+    v.type_ = Type::kBool;
+    v.num_ = b ? 1 : 0;
+    return v;
+  }
+  static Json str(std::string s) {
+    Json v;
+    v.type_ = Type::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  Type type_ = Type::kNull;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace vodsm::support

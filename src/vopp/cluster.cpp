@@ -26,6 +26,7 @@ void Cluster::run(const Program& program) {
   network_ = std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                             opts_.seed);
   network_->setTrace(opts_.trace);
+  network_->setClassifier(&dsm::classifyMsg);
   ctxs_.reserve(static_cast<size_t>(opts_.nprocs));
   runtimes_.reserve(static_cast<size_t>(opts_.nprocs));
   nodes_.reserve(static_cast<size_t>(opts_.nprocs));

@@ -27,6 +27,8 @@
 #include "dsm/vc.hpp"
 #include "net/network.hpp"
 #include "obs/breakdown.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -240,6 +242,17 @@ class Cluster {
   obs::Breakdown breakdown() const {
     if (!opts_.trace) return {};
     return obs::foldBreakdown(*opts_.trace, opts_.nprocs, finish_time_);
+  }
+  // Walks the critical path of the recorded trace. Empty when untraced.
+  obs::CriticalPath criticalPath() const {
+    if (!opts_.trace) return {};
+    return obs::computeCriticalPath(*opts_.trace, opts_.nprocs, finish_time_);
+  }
+  // Folds the recorded trace into per-page contention rows. Empty when
+  // untraced.
+  obs::PageHeat pageHeat() const {
+    if (!opts_.trace) return {};
+    return obs::foldPageHeat(*opts_.trace);
   }
   const net::NetStats& netStats() const {
     VODSM_CHECK(network_ != nullptr);

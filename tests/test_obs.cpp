@@ -18,6 +18,9 @@
 #include "harness/parallel_runner.hpp"
 #include "harness/run.hpp"
 #include "obs/breakdown.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/graph.hpp"
+#include "obs/page_heat.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
 
@@ -211,6 +214,206 @@ TEST(Obs, PerKindStatsSumToGlobals) {
   EXPECT_GT(r.net.of(net::MsgClass::kBarrier).messages, 0u);
 }
 
+TEST(Obs, CriticalPathOnHandCraftedStream) {
+  // Two nodes, known longest chain. All times in microseconds:
+  //   node 0: program [0,100], fault page 3 [50,60], barrier_wait [70,95];
+  //           grant (view 7 -> node 1) at 25; barrier folds at 72 and 73.
+  //   node 1: program [0,85], acquire_wait view 7 [10,40],
+  //           barrier_wait [60,85].
+  // The walk starts at node 0's finish (makespan 100): compute (95,100],
+  // barrier_release from the releasing fold at 73 to the wait end at 95,
+  // then local time (0,73] = compute 50 + fault 10 + compute 10 +
+  // barrier_wait 3. Exact per-category expectations below.
+  obs::TraceRecorder rec;
+  auto us = [](int64_t n) { return sim::usec(n); };
+  rec.begin(0, obs::Cat::kProgram, us(0));
+  rec.begin(1, obs::Cat::kProgram, us(0));
+  rec.begin(1, obs::Cat::kAcquireWait, us(10), /*id=*/7);
+  rec.instant(0, obs::Cat::kGrant, us(25), /*id=*/7, /*requester=*/1);
+  rec.end(1, obs::Cat::kAcquireWait, us(40), 7);
+  rec.begin(0, obs::Cat::kFault, us(50), /*page=*/3);
+  rec.end(0, obs::Cat::kFault, us(60), 3);
+  rec.begin(1, obs::Cat::kBarrierWait, us(60), /*barrier=*/0);
+  rec.begin(0, obs::Cat::kBarrierWait, us(70), 0);
+  rec.instant(0, obs::Cat::kBarrFold, us(72), 0, /*notices=*/0);
+  rec.instant(0, obs::Cat::kBarrFold, us(73), 0, 0);
+  rec.end(1, obs::Cat::kBarrierWait, us(85), 0);
+  rec.end(1, obs::Cat::kProgram, us(85));
+  rec.end(0, obs::Cat::kBarrierWait, us(95), 0);
+  rec.end(0, obs::Cat::kProgram, us(100));
+
+  obs::EventGraph g = obs::buildEventGraph(rec, /*nprocs=*/2);
+  EXPECT_EQ(g.waits_without_trigger, 0u);
+  EXPECT_EQ(g.unmatched_spans, 0u);
+  ASSERT_EQ(g.nodes.size(), 2u);
+  EXPECT_EQ(g.nodes[0].program_end, us(100));
+  ASSERT_EQ(g.nodes[1].waits.size(), 2u);
+  // The acquire wait's wakeup edge is the grant instant on node 0.
+  EXPECT_EQ(g.nodes[1].waits[0].trigger_node, 0u);
+  EXPECT_EQ(g.nodes[1].waits[0].trigger_ts, us(25));
+  // Both barrier waits were released by the episode's last fold (t=73).
+  EXPECT_EQ(g.nodes[0].waits[0].trigger_ts, us(73));
+  EXPECT_EQ(g.nodes[1].waits[1].trigger_ts, us(73));
+
+  obs::CriticalPath cp = obs::computeCriticalPath(g, us(100));
+  EXPECT_EQ(cp.makespan, us(100));
+  EXPECT_EQ(cp.total(), us(100)) << "attributions must sum to the makespan";
+  using PC = obs::PathCat;
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kCompute)], us(65));
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kFault)], us(10));
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kBarrierWait)], us(3));
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kBarrierRelease)], us(22));
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kAcquireWait)], 0);
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kGrantTransfer)], 0);
+  EXPECT_EQ(cp.by_cat[static_cast<int>(PC::kDiffCreate)], 0);
+  EXPECT_EQ(cp.hops, 1);
+  // The whole path stays on node 0 (the fold that released the barrier was
+  // recorded there too).
+  ASSERT_EQ(cp.by_node.size(), 2u);
+  EXPECT_EQ(cp.by_node[0], us(100));
+  EXPECT_EQ(cp.by_node[1], 0);
+  // Slices are sorted by critical nanoseconds, largest first.
+  ASSERT_FALSE(cp.slices.empty());
+  EXPECT_EQ(cp.slices[0].cat, PC::kCompute);
+  EXPECT_EQ(cp.slices[0].nanos, us(65));
+}
+
+TEST(Obs, PageHeatFoldsKnownCounts) {
+  obs::TraceRecorder rec;
+  auto us = [](int64_t n) { return sim::usec(n); };
+  // Two nodes fault page 5 concurrently; the spans must be matched per
+  // (page, node), giving 10 + 15 microseconds of fault time.
+  rec.begin(0, obs::Cat::kFault, us(10), /*page=*/5);
+  rec.begin(1, obs::Cat::kFault, us(15), 5);
+  rec.end(0, obs::Cat::kFault, us(20), 5);
+  rec.end(1, obs::Cat::kFault, us(30), 5);
+  rec.instant(0, obs::Cat::kTwin, us(11), 5);
+  rec.instant(1, obs::Cat::kDiffApply, us(29), 5, /*bytes=*/256);
+  rec.instant(0, obs::Cat::kNotice, us(40), 5, /*writer=*/1);
+  rec.begin(1, obs::Cat::kFault, us(50), /*page=*/9);
+  rec.end(1, obs::Cat::kFault, us(52), 9);
+
+  obs::PageHeat heat = obs::foldPageHeat(rec);
+  ASSERT_EQ(heat.rows.size(), 2u);
+  const obs::PageHeatRow& p5 = heat.rows[0];
+  EXPECT_EQ(p5.page, 5u);
+  EXPECT_EQ(p5.faults, 2u);
+  EXPECT_EQ(p5.fault_time, us(25));
+  EXPECT_EQ(p5.twins, 1u);
+  EXPECT_EQ(p5.diff_applies, 1u);
+  EXPECT_EQ(p5.diff_bytes, 256u);
+  EXPECT_EQ(p5.notices, 1u);
+  EXPECT_EQ(p5.sharers, 2u);
+  EXPECT_EQ(p5.writers, 1u);
+  const obs::PageHeatRow& p9 = heat.rows[1];
+  EXPECT_EQ(p9.page, 9u);
+  EXPECT_EQ(p9.faults, 1u);
+  EXPECT_EQ(p9.fault_time, us(2));
+  EXPECT_EQ(p9.sharers, 1u);
+
+  std::ostringstream csv;
+  obs::writePageHeatCsv(csv, heat);
+  EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+            "page,faults,fault_seconds,twins,diff_applies,diff_bytes,"
+            "notices,sharers,writers");
+}
+
+TEST(Obs, EventGraphIsCompleteOnRealRuns) {
+  for (auto proto : kAllProtocols) {
+    for (bool lossy : {false, true}) {
+      RunConfig c = smallConfig(proto);
+      if (lossy) {
+        c.net.random_loss = 0.02;
+        c.net.rto = sim::msec(20);
+      }
+      obs::TraceRecorder rec;
+      c.trace = &rec;
+      (void)apps::runIs(c, smallIs(), variantFor(proto));
+      obs::EventGraph g = obs::buildEventGraph(rec, c.nprocs);
+      const std::string what =
+          std::string(lossy ? "lossy " : "") + "proto " +
+          std::to_string(static_cast<int>(proto));
+      // Every deliver has a matching send, every wait a wakeup edge, every
+      // span a begin/end pair — even under loss and retransmission.
+      EXPECT_EQ(g.delivers_without_send, 0u) << what;
+      EXPECT_EQ(g.waits_without_trigger, 0u) << what;
+      EXPECT_EQ(g.unmatched_spans, 0u) << what;
+      EXPECT_FALSE(g.flows.empty()) << what;
+      uint64_t delivered = 0, retransmitted = 0;
+      for (const obs::Flow& f : g.flows) {
+        EXPECT_NE(f.corr, obs::kNoCorr);
+        EXPECT_GE(f.send, 0) << what;
+        if (f.deliver >= 0) delivered++;
+        retransmitted += f.retransmits;
+      }
+      EXPECT_GT(delivered, 0u) << what;
+      if (lossy) {
+        EXPECT_GT(retransmitted, 0u) << what;
+      }
+    }
+  }
+}
+
+TEST(Obs, CriticalPathSumsToMakespanOnRealRuns) {
+  for (auto proto : kAllProtocols) {
+    RunConfig c = smallConfig(proto);
+    obs::TraceRecorder rec;
+    c.trace = &rec;
+    c.critpath = true;
+    c.pageheat = true;
+    RunResult r = apps::runIs(c, smallIs(), variantFor(proto)).result;
+    const obs::CriticalPath& cp = r.critpath;
+    ASSERT_TRUE(cp.enabled());
+    // The partition invariant: per-category and per-node attributions both
+    // sum to the makespan to the nanosecond.
+    EXPECT_EQ(cp.total(), cp.makespan);
+    sim::Time node_sum = 0;
+    for (sim::Time t : cp.by_node) node_sum += t;
+    EXPECT_EQ(node_sum, cp.makespan);
+    sim::Time slice_sum = 0;
+    for (const obs::PathSlice& s : cp.slices) slice_sum += s.nanos;
+    EXPECT_EQ(slice_sum, cp.makespan);
+    EXPECT_EQ(sim::toSeconds(cp.makespan), r.seconds);
+    EXPECT_GT(cp.by_cat[static_cast<int>(obs::PathCat::kCompute)], 0);
+    EXPECT_TRUE(r.pageheat.enabled());
+    EXPECT_FALSE(r.pageheat.rows.empty());
+  }
+}
+
+TEST(Obs, CriticalPathOutputIndependentOfHostThreading) {
+  // The rendered report — category table, slice order, every digit — must
+  // not depend on how many host threads ran the cells.
+  std::vector<std::function<std::string()>> cells;
+  for (auto proto : kAllProtocols)
+    cells.push_back([proto] {
+      RunConfig c = smallConfig(proto);
+      obs::TraceRecorder rec;
+      c.trace = &rec;
+      c.critpath = true;
+      RunResult r = apps::runIs(c, smallIs(), variantFor(proto)).result;
+      std::ostringstream os;
+      obs::printCriticalPath(os, r.critpath, "cp");
+      return os.str();
+    });
+  auto serial = harness::runAll(cells, /*jobs=*/1);
+  auto parallel = harness::runAll(cells, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], parallel[i]);
+}
+
+TEST(Obs, DropAttributionSumsToFrameCounters) {
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  c.net.random_loss = 0.05;
+  c.net.rto = sim::msec(20);
+  RunResult r = apps::runIs(c, smallIs(), apps::IsVariant::kVopp).result;
+  uint64_t class_drops = 0;
+  for (int k = 0; k < net::kMsgClassCount; ++k)
+    class_drops += r.net.kind[k].drops;
+  EXPECT_EQ(class_drops + r.net.ack_drops,
+            r.net.frames_dropped_overflow + r.net.frames_dropped_random);
+  EXPECT_GT(class_drops + r.net.ack_drops, 0u) << "lossy run should drop";
+}
+
 TEST(Obs, ChromeTraceExportIsDeterministic) {
   RunConfig c = smallConfig(dsm::Protocol::kVcSd);
   obs::TraceRecorder live;
@@ -226,6 +429,11 @@ TEST(Obs, ChromeTraceExportIsDeterministic) {
   EXPECT_NE(s.find("\"process_name\""), std::string::npos);
   EXPECT_NE(s.find("\"acquire_view\""), std::string::npos);
   EXPECT_NE(s.find("\"barrier_wait\""), std::string::npos);
+  // Wire events carry flow bindings so the viewer draws send->deliver
+  // arrows; sends originate the flow, delivers terminate it.
+  EXPECT_NE(s.find("\"bind_id\""), std::string::npos);
+  EXPECT_NE(s.find("\"flow_out\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"flow_in\":true"), std::string::npos);
   EXPECT_EQ(s.substr(s.size() - 3), "]}\n");
 }
 
