@@ -1,0 +1,29 @@
+# Bench regression gate, run as a ctest (see bench/CMakeLists.txt):
+# regenerate every cell of the paper tables with table_suite, then require
+# bench_diff to find zero simulated drift against the committed baseline.
+#
+#   cmake -DTABLE_SUITE=... -DBENCH_DIFF=... -DBASELINE=... -DOUT_DIR=...
+#         -P regression_gate.cmake
+foreach(var TABLE_SUITE BENCH_DIFF BASELINE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "regression_gate.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(fresh "${OUT_DIR}/fresh_tables.json")
+execute_process(COMMAND "${TABLE_SUITE}" "--json=${fresh}"
+                RESULT_VARIABLE suite_rc
+                OUTPUT_QUIET)
+if(NOT suite_rc EQUAL 0)
+  message(FATAL_ERROR "table_suite failed (exit ${suite_rc})")
+endif()
+
+execute_process(COMMAND "${BENCH_DIFF}" "${BASELINE}" "${fresh}"
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench regression gate failed (exit ${diff_rc}): simulated fields "
+          "drifted from ${BASELINE}; if the change is intended, regenerate "
+          "the baseline with table_suite --json=BENCH_tables.json and commit "
+          "it alongside the code change")
+endif()

@@ -35,6 +35,11 @@ struct Options {
   // --breakdown these are pure trace consumers: sim results are unchanged.
   bool critpath = false;
   bool pageheat = false;
+  // Meter every cell with a cell-local counter/gauge registry (no sampler,
+  // peaks/means only) and record peak_twin_bytes / peak_diff_bytes /
+  // mean_link_utilization per cell in the JSON. Metering never charges
+  // simulated time, so all sim results are unchanged.
+  bool metrics = false;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
 };
@@ -58,6 +63,7 @@ inline Options parseArgs(int argc, char** argv) {
     else if (a == "--breakdown") o.breakdown = true;
     else if (a == "--critpath") o.critpath = true;
     else if (a == "--pageheat") o.pageheat = true;
+    else if (a == "--metrics") o.metrics = true;
     else if (a == "--compare-serial") o.compare_serial = true;
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
@@ -65,7 +71,7 @@ inline Options parseArgs(int argc, char** argv) {
     else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
-                   " [--breakdown] [--critpath] [--pageheat]"
+                   " [--breakdown] [--critpath] [--pageheat] [--metrics]"
                    " [--compare-serial]\n";
       std::exit(2);
     }

@@ -25,11 +25,13 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   auto opts = bench::parseArgs(argc, argv);
   if (opts.json.empty()) opts.json = "BENCH_tables.json";
-  // The suite always traces: BENCH_tables.json carries a per-cell time
-  // breakdown and critical-path attribution, and tracing cannot perturb
+  // The suite always traces and meters: BENCH_tables.json carries a
+  // per-cell time breakdown, critical-path attribution and memory/
+  // utilization metrics, and neither tracing nor metering can perturb
   // the simulated results.
   opts.breakdown = true;
   opts.critpath = true;
+  opts.metrics = true;
   const int jobs = harness::resolveJobs(opts.jobs);
 
   auto specs = bench::allTableSpecs(opts);

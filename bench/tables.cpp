@@ -9,6 +9,7 @@
 #include "harness/parallel_runner.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -40,20 +41,26 @@ struct CellFlags {
   bool traced = false;
   bool critpath = false;
   bool pageheat = false;
+  bool metrics = false;
 };
 
 CellFlags flagsOf(const Options& o) {
-  return {o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat};
+  return {o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat,
+          o.metrics};
 }
 
-// Runs one cell, tracing it through a cell-local recorder when requested.
-// The recorder lives only for the run; the folded analyses travel out by
-// value inside RunResult, and per-cell ownership keeps the parallel sweep
-// free of shared mutable state.
+// Runs one cell, tracing/metering it through cell-local observers when
+// requested. The recorder and registry live only for the run; the folded
+// analyses travel out by value inside RunResult, and per-cell ownership
+// keeps the parallel sweep free of shared mutable state. The metrics
+// registry samples at interval 0: the bench only consumes peaks and means,
+// so no time series is recorded.
 template <typename RunFn>
 RunResult runCell(CellFlags flags, harness::RunConfig cfg, RunFn&& run) {
   obs::TraceRecorder rec;
+  obs::MetricsRegistry mets;
   if (flags.traced) cfg.trace = &rec;
+  if (flags.metrics) cfg.metrics = &mets;
   cfg.critpath = flags.critpath;
   cfg.pageheat = flags.pageheat;
   return run(cfg);
@@ -410,6 +417,18 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
              << "\": " << sim::toSeconds(cat[c]);
         }
         os << "}";
+      }
+      if (r.metrics.enabled()) {
+        // Protocol memory footprint and network utilization. Peaks are
+        // max-over-nodes high-water marks; utilization is busy time over
+        // total link-direction-time (see obs::MetricsSummary). The MPI
+        // reference cells are unmetered, so these keys are absent there.
+        os << ", \"peak_twin_bytes\": "
+           << r.metrics.maxPeak(obs::Metric::kTwinBytes)
+           << ", \"peak_diff_bytes\": "
+           << r.metrics.maxPeak(obs::Metric::kDiffStoreBytes)
+           << ", \"mean_link_utilization\": "
+           << r.metrics.meanLinkUtilization();
       }
       os << "}" << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
     }

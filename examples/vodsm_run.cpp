@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "apps/gauss.hpp"
@@ -22,6 +23,7 @@
 #include "apps/sor.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/perfetto.hpp"
 #include "support/table.hpp"
@@ -44,6 +46,10 @@ namespace {
       "  --critpath      print the run's critical-path attribution\n"
       "  --pageheat      print per-page contention table\n"
       "  --pageheat-csv=FILE  write the full per-page table as CSV\n"
+      "  --memstats      print peak/mean counter-gauge summary (twin/diff\n"
+      "                  bytes, queue depths, link utilization)\n"
+      "  --metrics-csv=FILE   write the sampled per-node metric time series\n"
+      "  --metrics-interval=USEC  metric sampling period (default 1000)\n"
       "  IS:    --keys=N --buckets=N --iters=N\n"
       "  Gauss: --n=N\n"
       "  SOR:   --rows=N --cols=N --iters=N\n"
@@ -103,15 +109,31 @@ void printNetKinds(const net::NetStats& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every flag this tool understands. A typo (--pagheat) used to be silently
+  // ignored and the run would report nothing unusual; now it is an error.
+  static const std::set<std::string> kKnownFlags = {
+      "app",          "runtime",   "variant",      "procs",
+      "seed",         "trace",     "breakdown",    "netstats",
+      "critpath",     "pageheat",  "pageheat-csv", "memstats",
+      "metrics-csv",  "metrics-interval",
+      "keys",         "buckets",   "iters",        "n",
+      "rows",         "cols",      "samples",      "epochs",
+      "hidden"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) usage(argv[0]);
     auto eq = a.find('=');
+    const std::string key =
+        eq == std::string::npos ? a.substr(2) : a.substr(2, eq - 2);
+    if (!kKnownFlags.count(key)) {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      usage(argv[0]);
+    }
     if (eq == std::string::npos)
-      args.kv[a.substr(2)] = "1";  // bare flag (--breakdown, --netstats)
+      args.kv[key] = "1";  // bare flag (--breakdown, --netstats)
     else
-      args.kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      args.kv[key] = a.substr(eq + 1);
   }
   const std::string app = args.get("app", "");
   const std::string runtime = args.get("runtime", "vc_sd");
@@ -126,12 +148,20 @@ int main(int argc, char** argv) {
   const bool want_critpath = args.kv.count("critpath") > 0;
   const bool want_pageheat = args.kv.count("pageheat") > 0;
   const std::string pageheat_csv = args.get("pageheat-csv", "");
+  const bool want_memstats = args.kv.count("memstats") > 0;
+  const std::string metrics_csv = args.get("metrics-csv", "");
   obs::TraceRecorder recorder;
   if (!trace_path.empty() || want_breakdown || want_critpath || want_pageheat ||
       !pageheat_csv.empty())
     cfg.trace = &recorder;
   cfg.critpath = want_critpath;
   cfg.pageheat = want_pageheat || !pageheat_csv.empty();
+  // Metrics piggyback on any trace export (counter tracks) and are also
+  // available standalone via --memstats / --metrics-csv.
+  obs::MetricsRegistry registry{
+      sim::usec(static_cast<int64_t>(args.num("metrics-interval", 1000)))};
+  if (want_memstats || !metrics_csv.empty() || !trace_path.empty())
+    cfg.metrics = &registry;
   if (runtime == "lrc_d") cfg.protocol = dsm::Protocol::kLrcDiff;
   else if (runtime == "vc_d") cfg.protocol = dsm::Protocol::kVcDiff;
   else if (runtime == "vc_sd" || runtime == "mpi")
@@ -199,6 +229,22 @@ int main(int argc, char** argv) {
     obs::printCriticalPath(std::cout, result.critpath, "Critical path");
   if (want_pageheat)
     obs::printPageHeat(std::cout, result.pageheat, "Page contention");
+  if (want_memstats) {
+    if (result.metrics.enabled())
+      obs::printMemstats(std::cout, result.metrics, "Memory/utilization stats");
+    else
+      std::printf("\n(metrics not available for this runtime)\n");
+  }
+  if (!metrics_csv.empty()) {
+    std::ofstream os(metrics_csv, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_csv.c_str());
+      return 1;
+    }
+    obs::writeMetricsCsv(os, registry);
+    std::printf("\nmetrics: %zu samples -> %s\n", registry.samples().size(),
+                metrics_csv.c_str());
+  }
   if (!pageheat_csv.empty()) {
     std::ofstream os(pageheat_csv, std::ios::binary);
     if (!os) {
@@ -215,7 +261,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
       return 1;
     }
-    obs::writeChromeTrace(os, recorder);
+    obs::writeChromeTrace(os, recorder, cfg.metrics);
     std::printf("\ntrace: %zu events -> %s\n", recorder.size(),
                 trace_path.c_str());
   }

@@ -224,7 +224,8 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
-                         .trace = config.trace});
+                         .trace = config.trace,
+                         .metrics = config.metrics});
   GaussLayout lay;
   const size_t n = params.n;
   const size_t row_bytes = n * sizeof(double);

@@ -295,7 +295,8 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
-                         .trace = config.trace});
+                         .trace = config.trace,
+                         .metrics = config.metrics});
   IsLayout lay =
       buildLayout(cluster, params, variant != IsVariant::kTraditional);
   cluster.run([&](vopp::Node& node) -> sim::Task<void> {

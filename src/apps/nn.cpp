@@ -381,7 +381,8 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
-                         .trace = config.trace});
+                         .trace = config.trace,
+                         .metrics = config.metrics});
   NnLayout lay;
   Net net{params.inputs, params.hidden, params.outputs};
   lay.nw = net.weightCount();

@@ -273,7 +273,8 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
-                         .trace = config.trace});
+                         .trace = config.trace,
+                         .metrics = config.metrics});
   SorLayout lay;
   const size_t row_bytes = params.cols * sizeof(double);
   if (variant == SorVariant::kVopp) {

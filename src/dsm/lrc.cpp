@@ -172,6 +172,8 @@ void LrcRuntime::recordForeignInterval(const mem::Interval& iv) {
     ctx_.clock.charge(ctx_.costs.apply_notice);
     if (auto* t = ctx_.trace)
       t->instant(ctx_.id, obs::Cat::kNotice, ctx_.clock.now(), p, iv.node);
+    if (auto* m = ctx_.metrics)
+      m->add(ctx_.id, obs::Metric::kPendingNotices, 1, ctx_.clock.now());
     pending_[p].push_back(mem::WriteNotice{iv.node, iv.index});
     // Invalidate; a local twin (concurrent false-sharing writes) survives so
     // the fault can merge foreign diffs under our uncommitted changes.
@@ -192,10 +194,18 @@ void LrcRuntime::closeInterval() {
     ctx_.clock.charge(ctx_.costs.diffCreate(d.wireSize()));
     diff_bytes += d.wireSize();
     ctx_.store.dropTwin(p);
+    if (auto* m = ctx_.metrics) {
+      m->add(ctx_.id, obs::Metric::kTwinBytes,
+             -static_cast<int64_t>(mem::kPageSize), ctx_.clock.now());
+      m->add(ctx_.id, obs::Metric::kTwinReclaimBytes,
+             static_cast<int64_t>(mem::kPageSize), ctx_.clock.now());
+    }
     if (ctx_.store.access(p) == mem::Access::kWrite)
       ctx_.store.setAccess(p, mem::Access::kRead);
     if (d.empty()) continue;  // touched but unchanged: nothing to propagate
     ctx_.stats.diffs_created++;
+    if (auto* m = ctx_.metrics)
+      m->add(ctx_.id, obs::Metric::kDiffsCreated, 1, ctx_.clock.now());
     pages.push_back(p);
     diffs.push_back(std::move(d));
   }
@@ -205,8 +215,14 @@ void LrcRuntime::closeInterval() {
   dirty_.clear();
   if (pages.empty()) return;
   const uint32_t idx = ++vc_[ctx_.id];
-  for (size_t i = 0; i < pages.size(); ++i)
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (auto* m = ctx_.metrics) {
+      m->add(ctx_.id, obs::Metric::kDiffStoreBytes,
+             static_cast<int64_t>(diffs[i].wireSize()), ctx_.clock.now());
+      m->add(ctx_.id, obs::Metric::kDiffStoreCount, 1, ctx_.clock.now());
+    }
     diff_log_[pages[i]].emplace_back(idx, std::move(diffs[i]));
+  }
   mem::Interval iv;
   iv.node = ctx_.id;
   iv.index = idx;
@@ -280,7 +296,12 @@ sim::Task<void> LrcRuntime::readFault(mem::PageId p) {
     if (auto* t = ctx_.trace)
       t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), p,
                  f.diff.wireSize());
+    if (auto* m = ctx_.metrics)
+      m->add(ctx_.id, obs::Metric::kDiffsApplied, 1, ctx_.clock.now());
   }
+  if (auto* m = ctx_.metrics)
+    m->add(ctx_.id, obs::Metric::kPendingNotices,
+           -static_cast<int64_t>(it->second.size()), ctx_.clock.now());
   pending_.erase(p);
   ctx_.store.setAccess(p, ctx_.store.hasTwin(p) ? mem::Access::kWrite
                                                 : mem::Access::kRead);

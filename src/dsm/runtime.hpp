@@ -11,6 +11,7 @@
 #include "dsm/view_map.hpp"
 #include "mem/page_store.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
@@ -23,7 +24,8 @@ namespace vodsm::dsm {
 struct NodeCtx {
   NodeCtx(NodeId id_, int nprocs_, sim::Engine& engine_, net::Network& network,
           const ViewMap& views_, const DsmCosts& costs_,
-          obs::TraceRecorder* trace_ = nullptr)
+          obs::TraceRecorder* trace_ = nullptr,
+          obs::MetricsRegistry* metrics_ = nullptr)
       : id(id_),
         nprocs(nprocs_),
         engine(engine_),
@@ -31,7 +33,8 @@ struct NodeCtx {
         store(views_.heapBytes()),
         views(views_),
         costs(costs_),
-        trace(trace_) {
+        trace(trace_),
+        metrics(metrics_) {
     endpoint.setClassifier(&classifyMsg);
     endpoint.setTrace(trace);
   }
@@ -45,7 +48,8 @@ struct NodeCtx {
   const ViewMap& views;
   DsmCosts costs;
   DsmStats stats;
-  obs::TraceRecorder* trace;  // null when tracing is off
+  obs::TraceRecorder* trace;      // null when tracing is off
+  obs::MetricsRegistry* metrics;  // null when metrics are off
 };
 
 class Runtime {
@@ -106,6 +110,9 @@ class Runtime {
         ctx_.clock.charge(ctx_.costs.twin_copy);
         if (auto* t = ctx_.trace)
           t->instant(ctx_.id, obs::Cat::kTwin, ctx_.clock.now(), p);
+        if (auto* m = ctx_.metrics)
+          m->add(ctx_.id, obs::Metric::kTwinBytes,
+                 static_cast<int64_t>(mem::kPageSize), ctx_.clock.now());
       }
       ctx_.store.setAccess(p, mem::Access::kWrite);
       onPageDirtied(p);

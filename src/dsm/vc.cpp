@@ -95,6 +95,8 @@ sim::Task<void> VcRuntime::acquireView(ViewId v, bool readonly) {
       if (auto* t = ctx_.trace)
         t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), d.page(),
                    d.wireSize());
+      if (auto* m = ctx_.metrics)
+        m->add(ctx_.id, obs::Metric::kDiffsApplied, 1, ctx_.clock.now());
     }
   } else {
     for (const VcNotice& n : g.notices) {
@@ -103,6 +105,8 @@ sim::Task<void> VcRuntime::acquireView(ViewId v, bool readonly) {
       if (auto* t = ctx_.trace)
         t->instant(ctx_.id, obs::Cat::kNotice, ctx_.clock.now(), n.page,
                    n.writer);
+      if (auto* m = ctx_.metrics)
+        m->add(ctx_.id, obs::Metric::kPendingNotices, 1, ctx_.clock.now());
       pending_[n.page].push_back(n);
       ctx_.store.setAccess(n.page, mem::Access::kNone);
     }
@@ -145,14 +149,30 @@ sim::Task<void> VcRuntime::releaseView(ViewId v, bool readonly) {
     ctx_.clock.charge(ctx_.costs.diffCreate(d.wireSize()));
     diff_bytes += d.wireSize();
     ctx_.store.dropTwin(p);
+    if (auto* m = ctx_.metrics) {
+      m->add(ctx_.id, obs::Metric::kTwinBytes,
+             -static_cast<int64_t>(mem::kPageSize), ctx_.clock.now());
+      m->add(ctx_.id, obs::Metric::kTwinReclaimBytes,
+             static_cast<int64_t>(mem::kPageSize), ctx_.clock.now());
+    }
     ctx_.store.setAccess(p, mem::Access::kRead);
     if (d.empty()) continue;
     ctx_.stats.diffs_created++;
+    if (auto* m = ctx_.metrics)
+      m->add(ctx_.id, obs::Metric::kDiffsCreated, 1, ctx_.clock.now());
     rel.pages.push_back(p);
-    if (sd_)
+    if (sd_) {
+      // The single diff leaves this node with the release message; its home
+      // storage is accounted on the manager in onViewRelease.
       rel.diffs.push_back(std::move(d));
-    else
+    } else {
+      if (auto* m = ctx_.metrics) {
+        m->add(ctx_.id, obs::Metric::kDiffStoreBytes,
+               static_cast<int64_t>(d.wireSize()), ctx_.clock.now());
+        m->add(ctx_.id, obs::Metric::kDiffStoreCount, 1, ctx_.clock.now());
+      }
       diff_log_[p].emplace_back(write_version_, std::move(d));
+    }
   }
   if (auto* t = ctx_.trace; t && dirty_pages > 0)
     t->end(ctx_.id, obs::Cat::kDiffCreate, ctx_.clock.now(), dirty_pages,
@@ -208,10 +228,20 @@ void VcRuntime::grantNow(const ViewAcqMsg& m, ViewMgrState& st,
     std::set<mem::PageId> stale;
     for (uint32_t ver = m.last_seen + 1; ver <= st.cur_version; ++ver)
       for (mem::PageId p : st.history[ver - 1].second) stale.insert(p);
+    VODSM_CHECK_MSG(m.last_seen == 0 || m.last_seen >= st.gc_version,
+                    "view " << m.view << " GC ran past node " << m.requester
+                            << "'s last seen version");
     size_t bytes = 0;
     for (mem::PageId p : stale) {
       const auto& log = st.diff_log[p];
       std::optional<mem::Diff> acc;
+      // A first-time acquirer starts from the GC'd integration prefix; it
+      // is the same left fold over versions [1, gc_version] grantNow used
+      // to compute from the log, so the shipped diff is bit-identical.
+      if (m.last_seen == 0) {
+        auto bit = st.base.find(p);
+        if (bit != st.base.end()) acc = bit->second;
+      }
       for (const auto& [ver, d] : log) {
         if (ver <= m.last_seen) continue;
         acc = acc ? mem::Diff::integrate(*acc, d) : d;
@@ -231,6 +261,51 @@ void VcRuntime::grantNow(const ViewAcqMsg& m, ViewMgrState& st,
   if (auto* t = ctx_.trace)
     t->instant(ctx_.id, obs::Cat::kGrant, when, m.view, m.requester);
   ctx_.endpoint.post(m.requester, kViewGrant, g.encode(), when);
+  if (sd_) {
+    // The grant fixes what the requester will claim as last_seen next time:
+    // the granted version for readers, the version it is about to write for
+    // writers (releaseView sets last_seen_ = write_version_).
+    uint32_t& s = st.seen[m.requester];
+    s = std::max(s, m.write ? g.write_version : g.cur_version);
+    sdGc(st, when);
+  }
+}
+
+// Home-side diff GC. Every per-version diff at or below the minimum granted
+// version can only ever be consumed as part of the full (0, cur] prefix (a
+// node past it never asks again, and a first-time acquirer needs the whole
+// prefix), so fold it into the per-page base diff and drop it. Pure
+// bookkeeping: charges no simulated time, sends nothing.
+void VcRuntime::sdGc(ViewMgrState& st, sim::Time when) {
+  uint32_t min_seen = st.cur_version;
+  for (const auto& [node, ver] : st.seen) min_seen = std::min(min_seen, ver);
+  if (st.seen.empty() || min_seen <= st.gc_version) return;
+  int64_t delta_bytes = 0;
+  int64_t delta_count = 0;
+  for (auto& [p, log] : st.diff_log) {
+    size_t k = 0;
+    auto bit = st.base.find(p);
+    while (k < log.size() && log[k].first <= min_seen) {
+      mem::Diff& d = log[k].second;
+      if (bit == st.base.end()) {
+        bit = st.base.emplace(p, std::move(d)).first;
+      } else {
+        const int64_t before = static_cast<int64_t>(bit->second.wireSize()) +
+                               static_cast<int64_t>(d.wireSize());
+        bit->second = mem::Diff::integrate(bit->second, d);
+        delta_bytes += static_cast<int64_t>(bit->second.wireSize()) - before;
+        delta_count -= 1;
+      }
+      ++k;
+    }
+    log.erase(log.begin(), log.begin() + static_cast<ptrdiff_t>(k));
+  }
+  st.gc_version = min_seen;
+  if (auto* mr = ctx_.metrics; mr && (delta_bytes != 0 || delta_count != 0)) {
+    mr->add(ctx_.id, obs::Metric::kDiffStoreBytes, delta_bytes, when);
+    mr->add(ctx_.id, obs::Metric::kDiffStoreCount, delta_count, when);
+    mr->add(ctx_.id, obs::Metric::kDiffReclaimBytes, -delta_bytes, when);
+  }
 }
 
 void VcRuntime::onViewRelease(const ViewReleaseMsg& m, sim::Time arrive) {
@@ -244,6 +319,11 @@ void VcRuntime::onViewRelease(const ViewReleaseMsg& m, sim::Time arrive) {
     size_t bytes = 0;
     for (const mem::Diff& d : m.diffs) {
       bytes += d.wireSize();
+      if (auto* mr = ctx_.metrics) {
+        mr->add(ctx_.id, obs::Metric::kDiffStoreBytes,
+                static_cast<int64_t>(d.wireSize()), arrive);
+        mr->add(ctx_.id, obs::Metric::kDiffStoreCount, 1, arrive);
+      }
       st.diff_log[d.page()].emplace_back(m.version, d);
     }
     when += ctx_.costs.diffApply(bytes);  // home-side bookkeeping
@@ -318,7 +398,12 @@ sim::Task<void> VcRuntime::readFault(mem::PageId p) {
     if (auto* t = ctx_.trace)
       t->instant(ctx_.id, obs::Cat::kDiffApply, ctx_.clock.now(), p,
                  d.wireSize());
+    if (auto* m = ctx_.metrics)
+      m->add(ctx_.id, obs::Metric::kDiffsApplied, 1, ctx_.clock.now());
   }
+  if (auto* m = ctx_.metrics)
+    m->add(ctx_.id, obs::Metric::kPendingNotices,
+           -static_cast<int64_t>(it->second.size()), ctx_.clock.now());
   pending_.erase(p);
   ctx_.store.setAccess(p, ctx_.store.hasTwin(p) ? mem::Access::kWrite
                                                 : mem::Access::kRead);

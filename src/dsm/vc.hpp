@@ -11,7 +11,14 @@
 // VC_sd (integrated single diff, home-based): releases ship the diffs to
 // the view's manager, which keeps a per-page version log; grants piggyback
 // one *integrated* diff per stale page, applied eagerly — so VC_sd issues
-// zero diff requests and takes no remote faults.
+// zero diff requests and takes no remote faults. The manager also garbage-
+// collects its log: once every node that ever acquired the view is past a
+// version, the per-version diffs up to it are folded into one base diff
+// per page (the integration prefix grantNow would compute anyway, memoized)
+// and dropped. This bounds home storage by the view's footprint instead of
+// its write history — the paper's memory argument for single diffs — and
+// is invisible to the simulation: grants are bit-identical and GC charges
+// no simulated time.
 //
 // Barriers are pure synchronization in both: no consistency payload, no
 // invalidation — the paper's key structural difference from LRC.
@@ -55,10 +62,21 @@ class VcRuntime : public Runtime {
     std::deque<ViewAcqMsg> queue;
     // history[v-1] = (writer, pages) of version v (VC_d notice source).
     std::vector<std::pair<NodeId, std::vector<mem::PageId>>> history;
-    // VC_sd home storage: page -> (version, diff), ascending.
+    // VC_sd home storage: page -> (version, diff), ascending. Only the tail
+    // with version > gc_version lives here; older versions are folded into
+    // `base`.
     std::unordered_map<mem::PageId,
                        std::vector<std::pair<uint32_t, mem::Diff>>>
         diff_log;
+    // VC_sd GC state: per-page left-fold of all diffs with version in
+    // [1, gc_version]. A requester claims last_seen == 0 (first acquisition,
+    // needs base + tail exactly) or last_seen >= gc_version (tail suffices);
+    // both reproduce the pre-GC integration bit for bit.
+    std::unordered_map<mem::PageId, mem::Diff> base;
+    uint32_t gc_version = 0;
+    // Last version granted to each node that ever acquired this view; the
+    // minimum bounds how far gc_version may advance.
+    std::unordered_map<NodeId, uint32_t> seen;
   };
   struct BarrierMgrState {
     int arrived = 0;
@@ -77,6 +95,7 @@ class VcRuntime : public Runtime {
                    sim::Time arrive);
   void onBarrArrive(const BarrArriveMsg& m, sim::Time arrive);
   void grantNow(const ViewAcqMsg& m, ViewMgrState& st, sim::Time when);
+  void sdGc(ViewMgrState& st, sim::Time when);
   void pumpQueue(ViewId view, ViewMgrState& st, sim::Time when);
 
   bool holdsForRead(ViewId v) const {

@@ -9,6 +9,7 @@
 #include "net/types.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +23,9 @@ struct RunConfig {
   uint64_t seed = 42;
   // Caller-owned recorder; null disables tracing (see vopp::ClusterOptions).
   obs::TraceRecorder* trace = nullptr;
+  // Caller-owned counter/gauge registry; null disables metrics. Like the
+  // recorder, metering never changes what the run computes.
+  obs::MetricsRegistry* metrics = nullptr;
   // Trace analyses to fold into the result (require `trace`). Pure
   // post-processing: they never change what the run computes.
   bool critpath = false;
@@ -40,6 +44,10 @@ struct RunResult {
   // via RunConfig::critpath / pageheat on a traced run.
   obs::CriticalPath critpath;
   obs::PageHeat pageheat;
+  // Counter/gauge aggregates (peaks, finals, means); empty unless the run
+  // was metered via RunConfig::metrics. The MPI reference runner does not
+  // meter, so its results leave this empty.
+  obs::MetricsSummary metrics;
 
   double dataMBytes() const {
     return static_cast<double>(net.payload_bytes) / 1e6;
@@ -66,6 +74,7 @@ void collectResult(const ClusterT& cluster, const RunConfig& cfg,
     if (cfg.critpath) out.critpath = cluster.criticalPath();
     if (cfg.pageheat) out.pageheat = cluster.pageHeat();
   }
+  if (cfg.metrics) out.metrics = cluster.metricsSummary();
 }
 
 }  // namespace vodsm::harness

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -77,6 +78,13 @@ class Network {
   // Drops are charged to the would-be receiver's net track.
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
 
+  // Optional counter/gauge registry. Link metrics use engine time and only
+  // read values this layer already computed, so metered runs stay
+  // bit-identical to unmetered ones. Uplink busy time and in-flight bytes
+  // are charged to the sender's link, queue occupancy, downlink busy time
+  // and drops to the receiver's.
+  void setMetrics(obs::MetricsRegistry* m) { metrics_ = m; }
+
   // Maps the dropped frame's u16 message type onto a MsgClass so drops are
   // attributed per class in NetStats. Without one, non-ack drops land in
   // kOther (pure-ack drops are counted separately either way).
@@ -114,6 +122,11 @@ class Network {
     p.uplink_busy_until = depart + tx;
     stats_.frames_sent++;
     stats_.wire_bytes += config_.wireBytes(frame.size());
+    if (auto* m = metrics_) {
+      m->add(src, obs::Metric::kInflightBytes,
+             static_cast<int64_t>(frame.size()), now);
+      m->add(src, obs::Metric::kUplinkBusyNs, tx, now);
+    }
     engine_.at(depart + tx + config_.wire_latency,
                [this, src, dst, f = std::move(frame)]() mutable {
                  arriveSwitch(src, dst, std::move(f));
@@ -138,6 +151,11 @@ class Network {
                       obs::corrId(frameKind(frame),
                                   frameSeqOwner(frame, src, dst),
                                   frameSeq(frame)));
+    if (auto* m = metrics_) {
+      m->add(src, obs::Metric::kInflightBytes,
+             -static_cast<int64_t>(frame.size()), engine_.now());
+      m->add(dst, obs::Metric::kFrameDrops, 1, engine_.now());
+    }
   }
 
   void arriveSwitch(NodeId src, NodeId dst, Bytes frame) {
@@ -150,6 +168,8 @@ class Network {
     const sim::Time tx = config_.txTime(frame.size());
     const sim::Time start = std::max(engine_.now(), p.downlink_busy_until);
     p.downlink_busy_until = start + tx;
+    if (auto* m = metrics_)
+      m->add(dst, obs::Metric::kDownlinkBusyNs, tx, engine_.now());
     engine_.at(start + tx, [this, src, dst, f = std::move(frame)]() mutable {
       arriveNic(src, dst, std::move(f));
     });
@@ -163,6 +183,11 @@ class Network {
       return;
     }
     p.rx_queue_depth++;
+    if (auto* m = metrics_) {
+      m->add(dst, obs::Metric::kRxQueueFrames, 1, engine_.now());
+      m->add(dst, obs::Metric::kRxQueueBytes,
+             static_cast<int64_t>(frame.size()), engine_.now());
+    }
     const sim::Time start = std::max(engine_.now(), p.rx_busy_until);
     const sim::Time done = start + config_.recvOverhead(frame.size());
     p.rx_busy_until = done;
@@ -170,6 +195,13 @@ class Network {
       Port& q = port(dst);
       q.rx_queue_depth--;
       stats_.frames_delivered++;
+      if (auto* m = metrics_) {
+        m->add(dst, obs::Metric::kRxQueueFrames, -1, engine_.now());
+        m->add(dst, obs::Metric::kRxQueueBytes,
+               -static_cast<int64_t>(f.size()), engine_.now());
+        m->add(src, obs::Metric::kInflightBytes,
+               -static_cast<int64_t>(f.size()), engine_.now());
+      }
       if (q.deliver) q.deliver(src, std::move(f), engine_.now());
     });
   }
@@ -179,6 +211,7 @@ class Network {
   sim::Rng rng_;
   NetStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   Classifier classify_ = nullptr;
   std::vector<Port> ports_;
 };

@@ -30,7 +30,8 @@ char phaseChar(Phase p) {
 
 }  // namespace
 
-void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
+void writeChromeTrace(std::ostream& os, const TraceRecorder& trace,
+                      const MetricsRegistry* metrics) {
   const auto& events = trace.events();
 
   // One process per node plus one for the engine pseudo-node; pids are the
@@ -122,6 +123,20 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
     }
     std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), "}");
     emit(buf);
+  }
+
+  // Counter tracks: one per (node, metric), already in timestamp order
+  // within each series (the sampler emits rows tick by tick). Counter
+  // events are process-scoped, so no tid is needed.
+  if (metrics) {
+    for (const MetricSample& s : metrics->samples()) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%" PRIu32
+                    ",\"ts\":%.3f,\"args\":{\"value\":%" PRId64 "}}",
+                    metricInfo(s.metric).name, s.node,
+                    static_cast<double>(s.ts) / 1000.0, s.value);
+      emit(buf);
+    }
   }
   os << "\n]}\n";
 }

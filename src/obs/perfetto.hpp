@@ -10,6 +10,7 @@
 
 #include <ostream>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace vodsm::obs {
@@ -17,6 +18,13 @@ namespace vodsm::obs {
 // Writes the whole trace as {"traceEvents": [...]}. Events are emitted in
 // (timestamp, recording order) so viewers need no resorting; the output is
 // a pure function of the event list, hence deterministic across runs.
-void writeChromeTrace(std::ostream& os, const TraceRecorder& trace);
+// When a sampled metrics registry is supplied, its time series is appended
+// as "C" (counter) events — one counter track per metric per node, rendered
+// alongside that node's span tracks.
+void writeChromeTrace(std::ostream& os, const TraceRecorder& trace,
+                      const MetricsRegistry* metrics);
+inline void writeChromeTrace(std::ostream& os, const TraceRecorder& trace) {
+  writeChromeTrace(os, trace, nullptr);
+}
 
 }  // namespace vodsm::obs

@@ -26,6 +26,7 @@ void Cluster::run(const Program& program) {
   network_ = std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                             opts_.seed);
   network_->setTrace(opts_.trace);
+  network_->setMetrics(opts_.metrics);
   network_->setClassifier(&dsm::classifyMsg);
   ctxs_.reserve(static_cast<size_t>(opts_.nprocs));
   runtimes_.reserve(static_cast<size_t>(opts_.nprocs));
@@ -33,7 +34,7 @@ void Cluster::run(const Program& program) {
   for (int i = 0; i < opts_.nprocs; ++i) {
     ctxs_.push_back(std::make_unique<dsm::NodeCtx>(
         static_cast<dsm::NodeId>(i), opts_.nprocs, engine_, *network_, views_,
-        opts_.costs, opts_.trace));
+        opts_.costs, opts_.trace, opts_.metrics));
     runtimes_.push_back(makeRuntime(*ctxs_.back()));
     nodes_.push_back(
         std::make_unique<Node>(*this, *ctxs_.back(), *runtimes_.back()));
@@ -60,10 +61,12 @@ void Cluster::run(const Program& program) {
   }
   if (auto* t = opts_.trace)
     t->begin(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now());
+  if (auto* m = opts_.metrics) m->startSampling(engine_);
   const uint64_t engine_events = engine_.run();
   if (auto* t = opts_.trace)
     t->end(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now(),
            engine_events);
+  if (auto* m = opts_.metrics) m->closeRun(opts_.nprocs, finish_time_);
 
   if (first_error) std::rethrow_exception(first_error);
   for (int i = 0; i < opts_.nprocs; ++i) {

@@ -46,6 +46,10 @@ struct ClusterOptions {
   // recording never charges simulated time, so traced and untraced runs
   // produce identical results.
   obs::TraceRecorder* trace = nullptr;
+  // Caller-owned counter/gauge registry, threaded the same way (protocol
+  // engines, network, VOPP primitives). Null disables metrics; like tracing,
+  // metering never perturbs simulated results.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Cluster;
@@ -71,26 +75,32 @@ class Node {
   sim::Task<void> acquireView(dsm::ViewId v) {
     beginSpan(obs::Cat::kAcquireView, v, 0);
     co_await rt_.acquireView(v, /*readonly=*/false);
+    metricAdd(obs::Metric::kHeldViews, 1);
     endSpan(obs::Cat::kAcquireView, v, 0);
   }
   sim::Task<void> releaseView(dsm::ViewId v) {
     beginSpan(obs::Cat::kReleaseView, v, 0);
     co_await rt_.releaseView(v, /*readonly=*/false);
+    metricAdd(obs::Metric::kHeldViews, -1);
     endSpan(obs::Cat::kReleaseView, v, 0);
   }
   sim::Task<void> acquireRview(dsm::ViewId v) {
     beginSpan(obs::Cat::kAcquireView, v, 1);
     co_await rt_.acquireView(v, /*readonly=*/true);
+    metricAdd(obs::Metric::kHeldViews, 1);
     endSpan(obs::Cat::kAcquireView, v, 1);
   }
   sim::Task<void> releaseRview(dsm::ViewId v) {
     beginSpan(obs::Cat::kReleaseView, v, 1);
     co_await rt_.releaseView(v, /*readonly=*/true);
+    metricAdd(obs::Metric::kHeldViews, -1);
     endSpan(obs::Cat::kReleaseView, v, 1);
   }
   sim::Task<void> barrier(dsm::BarrierId b = 0) {
     beginSpan(obs::Cat::kBarrier, b);
+    metricAdd(obs::Metric::kBlockedAtBarrier, 1);
     co_await rt_.barrier(b);
+    metricAdd(obs::Metric::kBlockedAtBarrier, -1);
     endSpan(obs::Cat::kBarrier, b);
   }
 
@@ -102,9 +112,13 @@ class Node {
   sim::Task<void> acquireLock(dsm::LockId l) {
     beginSpan(obs::Cat::kAcquireLock, l);
     co_await rt_.acquireLock(l);
+    metricAdd(obs::Metric::kHeldLocks, 1);
     endSpan(obs::Cat::kAcquireLock, l);
   }
-  sim::Task<void> releaseLock(dsm::LockId l) { co_await rt_.releaseLock(l); }
+  sim::Task<void> releaseLock(dsm::LockId l) {
+    co_await rt_.releaseLock(l);
+    metricAdd(obs::Metric::kHeldLocks, -1);
+  }
 
   // --- shared memory access ---
   // Declare an access range; takes the simulated page faults (the analogue
@@ -153,6 +167,9 @@ class Node {
   }
   void endSpan(obs::Cat c, uint64_t a0, uint64_t a1 = 0) {
     if (auto* t = ctx_.trace) t->end(ctx_.id, c, ctx_.clock.now(), a0, a1);
+  }
+  void metricAdd(obs::Metric m, int64_t delta) {
+    if (auto* r = ctx_.metrics) r->add(ctx_.id, m, delta, ctx_.clock.now());
   }
 
   Cluster& cluster_;
@@ -257,6 +274,12 @@ class Cluster {
   const net::NetStats& netStats() const {
     VODSM_CHECK(network_ != nullptr);
     return network_->stats();
+  }
+  // Aggregated counter/gauge view of the run. Empty (enabled() == false)
+  // when the run was not metered.
+  obs::MetricsSummary metricsSummary() const {
+    if (!opts_.metrics) return {};
+    return opts_.metrics->summary();
   }
   // Inspect a node's final memory (for result validation).
   ByteSpan memoryOf(int node, size_t offset, size_t len) const {

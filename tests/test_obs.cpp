@@ -13,13 +13,16 @@
 #include <sstream>
 #include <vector>
 
+#include "apps/gauss.hpp"
 #include "apps/is.hpp"
 #include "apps/nn.hpp"
+#include "apps/sor.hpp"
 #include "harness/parallel_runner.hpp"
 #include "harness/run.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/graph.hpp"
+#include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
@@ -184,12 +187,16 @@ TEST(Obs, MpiRunsAreNotTraced) {
   p.epochs = 2;
   RunConfig c = smallConfig(dsm::Protocol::kVcSd);
   obs::TraceRecorder rec;
+  obs::MetricsRegistry reg{sim::usec(100)};
   c.trace = &rec;
+  c.metrics = &reg;
   RunResult r = apps::runNn(c, p, apps::NnVariant::kMpi).result;
   // NN/MPI runs in the message-passing world, not through the DSM cluster:
-  // no trace, no breakdown.
+  // no trace, no breakdown, no metrics.
   EXPECT_FALSE(r.breakdown.enabled());
   EXPECT_EQ(rec.size(), 0u);
+  EXPECT_FALSE(r.metrics.enabled());
+  EXPECT_TRUE(reg.samples().empty());
 }
 
 TEST(Obs, PerKindStatsSumToGlobals) {
@@ -434,6 +441,208 @@ TEST(Obs, ChromeTraceExportIsDeterministic) {
   EXPECT_NE(s.find("\"bind_id\""), std::string::npos);
   EXPECT_NE(s.find("\"flow_out\":true"), std::string::npos);
   EXPECT_NE(s.find("\"flow_in\":true"), std::string::npos);
+  EXPECT_EQ(s.substr(s.size() - 3), "]}\n");
+}
+
+// ---- counter/gauge metrics (obs/metrics.hpp) ----
+
+using M = obs::Metric;
+
+int64_t finalOf(const obs::MetricsSummary& s, uint32_t node, M m) {
+  for (const auto& row : s.rows)
+    if (row.node == node && row.metric == m) return row.final_value;
+  return 0;
+}
+
+RunResult runMeteredIs(RunConfig c, obs::MetricsRegistry* reg) {
+  c.metrics = reg;
+  return apps::runIs(c, smallIs(), variantFor(c.protocol)).result;
+}
+
+TEST(Metrics, RegistryAccountsPeaksFinalsAndMeans) {
+  obs::MetricsRegistry reg;  // interval 0: no sampler, aggregates only
+  // Node 0 holds 10 over [0, 100) ns then 4 over [100, 200); node 1 holds
+  // 3 from t=50 on.
+  reg.add(0, M::kTwinBytes, 10, 0);
+  reg.add(0, M::kTwinBytes, -6, 100);
+  reg.add(1, M::kTwinBytes, 3, 50);
+  reg.closeRun(/*nprocs=*/2, /*finish=*/200);
+  obs::MetricsSummary s = reg.summary();
+  ASSERT_TRUE(s.enabled());
+  EXPECT_EQ(s.maxPeak(M::kTwinBytes), 10);
+  EXPECT_EQ(s.totalFinal(M::kTwinBytes), 7);
+  ASSERT_EQ(s.rows.size(), 2u);
+  EXPECT_EQ(s.rows[0].node, 0u);
+  EXPECT_EQ(s.rows[0].peak, 10);
+  EXPECT_EQ(s.rows[0].peak_ts, 0);
+  EXPECT_EQ(s.rows[0].final_value, 4);
+  EXPECT_DOUBLE_EQ(s.rows[0].mean, (10.0 * 100 + 4.0 * 100) / 200.0);
+  EXPECT_DOUBLE_EQ(s.rows[1].mean, 3.0 * 150 / 200.0);
+  EXPECT_TRUE(reg.samples().empty());
+}
+
+TEST(Metrics, MeteredRunMatchesUnmeteredRun) {
+  // The tentpole invariant: metering — including the engine-driven sampler
+  // — must leave every simulated figure bit-identical.
+  for (auto proto : kAllProtocols) {
+    RunConfig c = smallConfig(proto);
+    RunResult plain = apps::runIs(c, smallIs(), variantFor(proto)).result;
+    obs::MetricsRegistry reg{sim::usec(200)};
+    RunResult metered = runMeteredIs(c, &reg);
+    expectSameSimResult(plain, metered, "metered vs unmetered");
+    EXPECT_FALSE(plain.metrics.enabled());
+    ASSERT_TRUE(metered.metrics.enabled());
+    EXPECT_FALSE(reg.samples().empty());
+    EXPECT_GT(metered.metrics.maxPeak(M::kTwinBytes), 0);
+    // Metering composes with tracing without disturbing either.
+    obs::TraceRecorder rec;
+    obs::MetricsRegistry reg2{sim::usec(200)};
+    RunConfig c2 = c;
+    c2.trace = &rec;
+    RunResult both = runMeteredIs(c2, &reg2);
+    expectSameSimResult(plain, both, "traced+metered vs plain");
+    EXPECT_FALSE(rec.events().empty());
+  }
+}
+
+TEST(Metrics, ConservationInvariantsOnRealRuns) {
+  // Every app ends with a barrier/release, so all twins must be reclaimed;
+  // the engine drains, so no bytes remain queued or in flight.
+  struct Case {
+    const char* name;
+    std::function<RunResult(RunConfig&)> run;
+  };
+  std::vector<Case> cases = {
+      {"is", [](RunConfig& c) {
+         return apps::runIs(c, smallIs(), apps::IsVariant::kVopp).result;
+       }},
+      {"gauss", [](RunConfig& c) {
+         apps::GaussParams p;
+         p.n = 64;
+         return apps::runGauss(c, p, apps::GaussVariant::kVopp).result;
+       }},
+      {"sor", [](RunConfig& c) {
+         apps::SorParams p;
+         p.rows = 64;
+         p.cols = 48;
+         p.iterations = 4;
+         return apps::runSor(c, p, apps::SorVariant::kVopp).result;
+       }},
+      {"nn", [](RunConfig& c) {
+         apps::NnParams p;
+         p.samples = 64;
+         p.epochs = 2;
+         return apps::runNn(c, p, apps::NnVariant::kVopp).result;
+       }},
+  };
+  for (const Case& app : cases) {
+    for (auto proto : {dsm::Protocol::kVcDiff, dsm::Protocol::kVcSd}) {
+      RunConfig c = smallConfig(proto);
+      obs::MetricsRegistry reg{sim::usec(200)};
+      c.metrics = &reg;
+      RunResult r = app.run(c);
+      ASSERT_TRUE(r.metrics.enabled()) << app.name;
+      for (int node = 0; node < c.nprocs; ++node) {
+        const uint32_t n = static_cast<uint32_t>(node);
+        EXPECT_EQ(finalOf(r.metrics, n, M::kTwinBytes), 0)
+            << app.name << " node " << node << ": live twins after the run";
+        EXPECT_EQ(finalOf(r.metrics, n, M::kRxQueueBytes), 0) << app.name;
+        EXPECT_EQ(finalOf(r.metrics, n, M::kRxQueueFrames), 0) << app.name;
+        EXPECT_EQ(finalOf(r.metrics, n, M::kInflightBytes), 0) << app.name;
+      }
+      EXPECT_EQ(r.metrics.totalFinal(M::kFrameDrops),
+                static_cast<int64_t>(r.net.frames_dropped_overflow +
+                                     r.net.frames_dropped_random))
+          << app.name;
+      EXPECT_GT(r.metrics.totalFinal(M::kDiffsCreated), 0) << app.name;
+      EXPECT_GT(r.metrics.totalFinal(M::kTwinReclaimBytes), 0) << app.name;
+    }
+  }
+  // The traditional-IS LRC path exercises lock-interval twins.
+  RunConfig c = smallConfig(dsm::Protocol::kLrcDiff);
+  obs::MetricsRegistry reg{sim::usec(200)};
+  RunResult r = runMeteredIs(c, &reg);
+  for (int node = 0; node < c.nprocs; ++node)
+    EXPECT_EQ(finalOf(r.metrics, static_cast<uint32_t>(node), M::kTwinBytes),
+              0);
+}
+
+TEST(Metrics, DropCounterMatchesNetStatsOnLossyRuns) {
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  c.net.random_loss = 0.05;
+  c.net.rto = sim::msec(20);
+  obs::MetricsRegistry reg{sim::usec(200)};
+  RunResult r = runMeteredIs(c, &reg);
+  const int64_t dropped = static_cast<int64_t>(r.net.frames_dropped_overflow +
+                                               r.net.frames_dropped_random);
+  EXPECT_GT(dropped, 0) << "lossy run should drop frames";
+  EXPECT_EQ(r.metrics.totalFinal(M::kFrameDrops), dropped);
+  // Dropped frames left the sender's in-flight gauge too.
+  for (int node = 0; node < c.nprocs; ++node)
+    EXPECT_EQ(finalOf(r.metrics, static_cast<uint32_t>(node),
+                      M::kInflightBytes),
+              0);
+}
+
+TEST(Metrics, SdHomeGcBoundsDiffStorage) {
+  // The paper's memory argument: LRC_d retains every diff it ever made,
+  // while the VC_sd home folds superseded versions into one base diff per
+  // page. Same app, same size — VC_sd's high-water mark must be lower and
+  // its GC must actually reclaim.
+  obs::MetricsRegistry lrc_reg;
+  RunResult lrc =
+      runMeteredIs(smallConfig(dsm::Protocol::kLrcDiff), &lrc_reg);
+  obs::MetricsRegistry sd_reg;
+  RunResult sd = runMeteredIs(smallConfig(dsm::Protocol::kVcSd), &sd_reg);
+  EXPECT_LT(sd.metrics.maxPeak(M::kDiffStoreBytes),
+            lrc.metrics.maxPeak(M::kDiffStoreBytes));
+  EXPECT_GT(sd.metrics.totalFinal(M::kDiffReclaimBytes), 0);
+  EXPECT_EQ(lrc.metrics.totalFinal(M::kDiffReclaimBytes), 0);
+  // Retained + reclaimed can never exceed what the store ever accumulated
+  // at peak times the node count, but retained alone must sit below LRC's.
+  EXPECT_LT(sd.metrics.totalFinal(M::kDiffStoreBytes),
+            lrc.metrics.totalFinal(M::kDiffStoreBytes));
+}
+
+TEST(Metrics, CsvAndMemstatsDeterministicAcrossHostThreads) {
+  // The rendered CSV and summary table — every digit — must not depend on
+  // how many host threads ran the cells.
+  std::vector<std::function<std::string()>> cells;
+  for (auto proto : kAllProtocols)
+    cells.push_back([proto] {
+      RunConfig c = smallConfig(proto);
+      obs::MetricsRegistry reg{sim::usec(200)};
+      RunResult r = runMeteredIs(c, &reg);
+      std::ostringstream os;
+      obs::writeMetricsCsv(os, reg);
+      obs::printMemstats(os, r.metrics, "memstats");
+      return os.str();
+    });
+  auto serial = harness::runAll(cells, /*jobs=*/1);
+  auto parallel = harness::runAll(cells, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+    EXPECT_EQ(serial[i].rfind("t_seconds,node,metric,value\n", 0), 0u);
+  }
+}
+
+TEST(Metrics, ChromeTraceGainsCounterTracks) {
+  RunConfig c = smallConfig(dsm::Protocol::kVcSd);
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry reg{sim::usec(200)};
+  c.trace = &rec;
+  c.metrics = &reg;
+  (void)apps::runIs(c, smallIs(), apps::IsVariant::kVopp);
+
+  std::ostringstream with, without;
+  obs::writeChromeTrace(with, rec, &reg);
+  obs::writeChromeTrace(without, rec);
+  const std::string& s = with.str();
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(s.find("\"dsm.twin_bytes\""), std::string::npos);
+  EXPECT_NE(s.find("\"net.inflight_bytes\""), std::string::npos);
+  EXPECT_EQ(without.str().find("\"ph\":\"C\""), std::string::npos);
   EXPECT_EQ(s.substr(s.size() - 3), "]}\n");
 }
 
