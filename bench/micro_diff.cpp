@@ -23,7 +23,8 @@ Bytes mutate(const Bytes& base, double density, uint64_t seed) {
   vodsm::sim::Rng rng(seed);
   Bytes out = base;
   for (size_t w = 0; w + 4 <= out.size(); w += 4)
-    if (rng.uniform() < density) out[w] = static_cast<std::byte>(rng.below(256));
+    if (rng.uniform() < density)
+      out[w] = static_cast<std::byte>(rng.below(256));
   return out;
 }
 
@@ -160,7 +161,8 @@ void BM_IntegrationCompression(benchmark::State& state) {
   Diff merged = diffs[0];
   for (auto _ : state) {
     merged = diffs[0];
-    for (int i = 1; i < chain; ++i) merged = Diff::integrate(merged, diffs[static_cast<size_t>(i)]);
+    for (int i = 1; i < chain; ++i)
+      merged = Diff::integrate(merged, diffs[static_cast<size_t>(i)]);
     benchmark::DoNotOptimize(merged);
   }
   state.counters["chain_bytes"] = static_cast<double>(chain_bytes);

@@ -76,7 +76,8 @@ void BM_FanIn(benchmark::State& state) {
       finish = d.arrive;
     });
     for (int i = 1; i <= senders; ++i)
-      for (int m = 0; m < 4; ++m) eps[static_cast<size_t>(i)]->post(0, 1, Bytes(1024), 0);
+      for (int m = 0; m < 4; ++m)
+        eps[static_cast<size_t>(i)]->post(0, 1, Bytes(1024), 0);
     e.run();
     rexmit = net.stats().retransmissions;
     benchmark::DoNotOptimize(received);

@@ -42,6 +42,11 @@ struct Options {
   bool metrics = false;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
+  // Fault-plan spec applied to every cell (net::parseFaultPlan grammar).
+  // Empty means no injection: cells run byte-identical to a plan-free
+  // build, and the JSON gains no fault fields (bench_regression_gate
+  // compares exactly).
+  std::string faults;
 };
 
 inline int parseIntArg(const std::string& a, size_t prefix_len) {
@@ -68,11 +73,12 @@ inline Options parseArgs(int argc, char** argv) {
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
     else if (a.rfind("--json=", 0) == 0) o.json = a.substr(7);
+    else if (a.rfind("--faults=", 0) == 0) o.faults = a.substr(9);
     else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
                    " [--breakdown] [--critpath] [--pageheat] [--metrics]"
-                   " [--compare-serial]\n";
+                   " [--compare-serial] [--faults=SPEC]\n";
       std::exit(2);
     }
   }

@@ -36,17 +36,29 @@ std::string cellId(const std::string& app, const std::string& impl,
 // --- cell builders: one per (app, variant) pair -------------------------
 
 // Which trace analyses a cell should run; copied out of Options so the
-// cell lambdas stay self-contained.
+// cell lambdas stay self-contained. The fault plan travels by value for
+// the same reason: every cell binds its own injector to its own run, so
+// the parallel sweep shares no mutable fault state.
 struct CellFlags {
   bool traced = false;
   bool critpath = false;
   bool pageheat = false;
   bool metrics = false;
+  net::FaultPlan faults;
 };
 
 CellFlags flagsOf(const Options& o) {
-  return {o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat,
-          o.metrics};
+  CellFlags f{o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat,
+              o.metrics, {}};
+  if (!o.faults.empty()) {
+    try {
+      f.faults = net::parseFaultPlan(o.faults);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+  return f;
 }
 
 // Runs one cell, tracing/metering it through cell-local observers when
@@ -56,13 +68,15 @@ CellFlags flagsOf(const Options& o) {
 // registry samples at interval 0: the bench only consumes peaks and means,
 // so no time series is recorded.
 template <typename RunFn>
-RunResult runCell(CellFlags flags, harness::RunConfig cfg, RunFn&& run) {
+RunResult runCell(const CellFlags& flags, harness::RunConfig cfg,
+                  RunFn&& run) {
   obs::TraceRecorder rec;
   obs::MetricsRegistry mets;
   if (flags.traced) cfg.trace = &rec;
   if (flags.metrics) cfg.metrics = &mets;
   cfg.critpath = flags.critpath;
   cfg.pageheat = flags.pageheat;
+  if (!flags.faults.empty()) cfg.faults = &flags.faults;
   return run(cfg);
 }
 
@@ -378,6 +392,17 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
   os << "  \"suite\": \"paper_tables\",\n";
   os << "  \"full\": " << (o.full ? "true" : "false") << ",\n";
   os << "  \"breakdown\": " << (o.breakdown ? "true" : "false") << ",\n";
+  if (!o.faults.empty()) {
+    // Record the active fault spec (escaped as a JSON string) so a faulted
+    // artifact can never be mistaken for a baseline. Fault-free runs write
+    // no fault keys at all, keeping the baseline byte-identical.
+    std::string esc;
+    for (char c : o.faults) {
+      if (c == '"' || c == '\\') esc.push_back('\\');
+      esc.push_back(c);
+    }
+    os << "  \"faults\": \"" << esc << "\",\n";
+  }
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"cells\": " << n_cells << ",\n";
   os << "  \"wall_seconds\": " << wall_seconds << ",\n";
@@ -398,6 +423,14 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
          << ", \"host_seconds\": " << runs[s].cell_host_seconds[i]
          << ", \"messages\": " << r.net.messages
          << ", \"payload_bytes\": " << r.net.payload_bytes;
+      if (!o.faults.empty()) {
+        // Per-cell fault columns, present only on faulted sweeps.
+        os << ", \"retransmissions\": " << r.net.retransmissions
+           << ", \"frames_dropped_fault\": " << r.net.frames_dropped_fault
+           << ", \"frames_duplicated\": " << r.net.frames_duplicated
+           << ", \"frames_reordered\": " << r.net.frames_reordered
+           << ", \"frames_degraded\": " << r.net.frames_degraded;
+      }
       if (r.breakdown.enabled()) {
         const obs::BucketSet& b = r.breakdown.aggregate;
         os << ", \"breakdown_seconds\": {\"compute\": "

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
     blocks.push_back(
         cluster.defineView((rowHi(p) - rowLo(p)) * row_bytes, p));
   for (int p = 0; p < procs; ++p)
-    borders.push_back(
-        {cluster.defineView(2 * row_bytes, p), cluster.defineView(2 * row_bytes, p)});
+    borders.push_back({cluster.defineView(2 * row_bytes, p),
+                       cluster.defineView(2 * row_bytes, p)});
 
   cluster.run([&](vopp::Node& node) -> sim::Task<void> {
     const int pid = node.id();
@@ -133,10 +133,10 @@ int main(int argc, char** argv) {
         for (size_t i = 0; i < rows; i += 4) {
           double t = m[i * kCols + kCols / 2];
           int bar = static_cast<int>(t / 4);
+          static const char kBar[] =
+              "############################################################";
           std::printf("  row %3zu | %-60.*s %.1f\n", rowLo(p) + i,
-                      std::min(bar, 60),
-                      "############################################################",
-                      t);
+                      std::min(bar, 60), kBar, t);
         }
         co_await node.releaseRview(v);
       }

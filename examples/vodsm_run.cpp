@@ -4,7 +4,7 @@
 // parameters and get the paper-style statistics row:
 //
 //   vodsm_run --app=is    --runtime=vc_sd --procs=16 --variant=vopp
-//   vodsm_run --app=gauss --runtime=lrc_d --procs=8  --variant=traditional --n=512
+//   vodsm_run --app=gauss --runtime=lrc_d --procs=8 --variant=traditional
 //   vodsm_run --app=nn    --runtime=mpi   --procs=32 --epochs=100
 //   vodsm_run --app=sor   --runtime=vc_d  --rows=1024 --cols=1024 --iters=50
 //
@@ -48,6 +48,11 @@ namespace {
       "  --pageheat-csv=FILE  write the full per-page table as CSV\n"
       "  --memstats      print peak/mean counter-gauge summary (twin/diff\n"
       "                  bytes, queue depths, link utilization)\n"
+      "  --faults=SPEC   inject deterministic faults; SPEC is\n"
+      "                  kind:k=v,...;kind:... (kinds: loss burst dup\n"
+      "                  reorder degrade partition slow), @plan.json, or\n"
+      "                  profile:NAME (lossy bursty degraded partition\n"
+      "                  straggler flaky mixed)\n"
       "  --metrics-csv=FILE   write the sampled per-node metric time series\n"
       "  --metrics-interval=USEC  metric sampling period (default 1000)\n"
       "  IS:    --keys=N --buckets=N --iters=N\n"
@@ -87,6 +92,19 @@ void printResult(const std::string& title, const harness::RunResult& r,
   std::printf("  Acquire Time (usec.) %10.2f\n", r.dsm.avgAcquireMicros());
   std::printf("  Rexmit               %10llu\n",
               static_cast<unsigned long long>(r.net.retransmissions));
+  // Fault-injection counters appear only when a plan actually fired, so
+  // fault-free output stays byte-identical.
+  if (r.net.frames_dropped_fault || r.net.frames_duplicated ||
+      r.net.frames_reordered || r.net.frames_degraded) {
+    std::printf("  Fault drops          %10llu\n",
+                static_cast<unsigned long long>(r.net.frames_dropped_fault));
+    std::printf("  Fault dups           %10llu\n",
+                static_cast<unsigned long long>(r.net.frames_duplicated));
+    std::printf("  Fault reorders       %10llu\n",
+                static_cast<unsigned long long>(r.net.frames_reordered));
+    std::printf("  Fault degraded       %10llu\n",
+                static_cast<unsigned long long>(r.net.frames_degraded));
+  }
   std::printf("  Result               %10s\n", ok ? "ok" : "MISMATCH");
 }
 
@@ -115,7 +133,7 @@ int main(int argc, char** argv) {
       "app",          "runtime",   "variant",      "procs",
       "seed",         "trace",     "breakdown",    "netstats",
       "critpath",     "pageheat",  "pageheat-csv", "memstats",
-      "metrics-csv",  "metrics-interval",
+      "metrics-csv",  "metrics-interval",          "faults",
       "keys",         "buckets",   "iters",        "n",
       "rows",         "cols",      "samples",      "epochs",
       "hidden"};
@@ -162,6 +180,17 @@ int main(int argc, char** argv) {
       sim::usec(static_cast<int64_t>(args.num("metrics-interval", 1000)))};
   if (want_memstats || !metrics_csv.empty() || !trace_path.empty())
     cfg.metrics = &registry;
+  net::FaultPlan fault_plan;
+  const std::string fault_spec = args.get("faults", "");
+  if (!fault_spec.empty()) {
+    try {
+      fault_plan = net::parseFaultPlan(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    cfg.faults = &fault_plan;
+  }
   if (runtime == "lrc_d") cfg.protocol = dsm::Protocol::kLrcDiff;
   else if (runtime == "vc_d") cfg.protocol = dsm::Protocol::kVcDiff;
   else if (runtime == "vc_sd" || runtime == "mpi")

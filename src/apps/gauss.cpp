@@ -77,7 +77,8 @@ sim::Task<void> gaussVopp(vopp::Node& node, const GaussParams& p,
       auto* m = reinterpret_cast<double*>(
           node.mem(off, (qhi - qlo) * row_bytes).data());
       for (size_t i = qlo; i < qhi; ++i)
-        for (size_t j = 0; j < n; ++j) m[(i - qlo) * n + j] = cell(p.seed, i, j, n);
+        for (size_t j = 0; j < n; ++j)
+          m[(i - qlo) * n + j] = cell(p.seed, i, j, n);
       node.chargeOps((qhi - qlo) * n, p.flop_ns);
       co_await node.releaseView(v);
     }
@@ -89,9 +90,10 @@ sim::Task<void> gaussVopp(vopp::Node& node, const GaussParams& p,
   {
     dsm::ViewId v = lay.block_views[static_cast<size_t>(pid)];
     co_await node.acquireView(v);
-    co_await node.copyOut(node.cluster().viewOffset(v),
-                          MutByteSpan(reinterpret_cast<std::byte*>(block.data()),
-                                      block.size() * sizeof(double)));
+    co_await node.copyOut(
+        node.cluster().viewOffset(v),
+        MutByteSpan(reinterpret_cast<std::byte*>(block.data()),
+                    block.size() * sizeof(double)));
     co_await node.releaseView(v);
   }
   co_await node.barrier();
@@ -225,7 +227,8 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
                          .costs = config.costs,
                          .seed = config.seed,
                          .trace = config.trace,
-                         .metrics = config.metrics});
+                         .metrics = config.metrics,
+                         .faults = config.faults});
   GaussLayout lay;
   const size_t n = params.n;
   const size_t row_bytes = n * sizeof(double);

@@ -25,7 +25,8 @@ std::vector<int64_t> isSerialRankSums(const IsParams& p, int nprocs) {
     counts[isKey(p.key_seed, last, i, p.max_key)]++;
   // prefix[k] = number of keys strictly smaller than k == rank of key k.
   std::vector<int64_t> prefix(buckets, 0);
-  for (size_t k = 1; k < buckets; ++k) prefix[k] = prefix[k - 1] + counts[k - 1];
+  for (size_t k = 1; k < buckets; ++k)
+    prefix[k] = prefix[k - 1] + counts[k - 1];
   std::vector<int64_t> sums(static_cast<size_t>(nprocs), 0);
   const size_t per = p.n_keys / static_cast<size_t>(nprocs);
   for (int pr = 0; pr < nprocs; ++pr) {
@@ -230,14 +231,16 @@ sim::Task<void> isProgram(vopp::Node& node, const IsParams& p,
         co_await node.touchRead(off, n * 4);
         auto* g = reinterpret_cast<const uint32_t*>(
             node.memView(off, n * 4).data());
-        std::copy(g, g + n, global_counts.begin() + static_cast<ptrdiff_t>(slo));
+        std::copy(g, g + n,
+                  global_counts.begin() + static_cast<ptrdiff_t>(slo));
         co_await node.releaseRview(v);
       } else {
         size_t off = lay.raw_buckets_off + slo * 4;
         co_await node.touchRead(off, n * 4);
         auto* g = reinterpret_cast<const uint32_t*>(
             node.memView(off, n * 4).data());
-        std::copy(g, g + n, global_counts.begin() + static_cast<ptrdiff_t>(slo));
+        std::copy(g, g + n,
+                  global_counts.begin() + static_cast<ptrdiff_t>(slo));
       }
     }
     prefix[0] = 0;
@@ -296,7 +299,8 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
                          .costs = config.costs,
                          .seed = config.seed,
                          .trace = config.trace,
-                         .metrics = config.metrics});
+                         .metrics = config.metrics,
+                         .faults = config.faults});
   IsLayout lay =
       buildLayout(cluster, params, variant != IsVariant::kTraditional);
   cluster.run([&](vopp::Node& node) -> sim::Task<void> {

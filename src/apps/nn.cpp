@@ -11,7 +11,7 @@ namespace vodsm::apps {
 
 namespace {
 
-constexpr double kScale = 1099511627776.0;  // 2^40  // fixed-point gradient scale
+constexpr double kScale = 1099511627776.0;  // 2^40 fixed-point grad scale
 
 double hash01(uint64_t seed, uint64_t a, uint64_t b) {
   uint64_t z = seed ^ (a * 0x9e3779b97f4a7c15ULL + b * 0xd1342543de82ef95ULL);
@@ -57,7 +57,8 @@ void gradientSlice(const NnParams& p, const Net& net,
   std::vector<double> dh(static_cast<size_t>(net.H));
   for (size_t s = s_lo; s < s_hi; ++s) {
     for (int i = 0; i < net.I; ++i)
-      x[static_cast<size_t>(i)] = hash01(p.seed, s, static_cast<uint64_t>(i)) * 2 - 1;
+      x[static_cast<size_t>(i)] =
+          hash01(p.seed, s, static_cast<uint64_t>(i)) * 2 - 1;
     for (int k = 0; k < net.O; ++k)
       t[static_cast<size_t>(k)] =
           hash01(p.seed * 13 + 5, s, static_cast<uint64_t>(k)) * 2 - 1;
@@ -87,12 +88,14 @@ void gradientSlice(const NnParams& p, const Net& net,
     }
     for (int j = 0; j < net.H; ++j) {
       for (int i = 0; i < net.I; ++i)
-        grad[net.w1(i, j)] += x[static_cast<size_t>(i)] * dh[static_cast<size_t>(j)];
+        grad[net.w1(i, j)] +=
+            x[static_cast<size_t>(i)] * dh[static_cast<size_t>(j)];
       grad[net.w1(net.I, j)] += dh[static_cast<size_t>(j)];
     }
     for (int k = 0; k < net.O; ++k) {
       for (int j = 0; j < net.H; ++j)
-        grad[net.w2(j, k)] += h[static_cast<size_t>(j)] * dout[static_cast<size_t>(k)];
+        grad[net.w2(j, k)] +=
+            h[static_cast<size_t>(j)] * dout[static_cast<size_t>(k)];
       grad[net.w2(net.H, k)] += dout[static_cast<size_t>(k)];
     }
   }
@@ -309,8 +312,8 @@ sim::Task<void> nnTraditional(vopp::Node& node, const NnParams& p,
       for (int s = 0; s < P; ++s) {
         size_t off = lay.deltas_off + static_cast<size_t>(s) * lay.nw * 8;
         co_await node.touchRead(off, lay.nw * 8);
-        auto* row =
-            reinterpret_cast<const int64_t*>(node.memView(off, lay.nw * 8).data());
+        auto* row = reinterpret_cast<const int64_t*>(
+            node.memView(off, lay.nw * 8).data());
         for (size_t k = 0; k < lay.nw; ++k) total[k] += row[k];
       }
       applyDeltas(w, total, p.lr);
@@ -338,7 +341,8 @@ double runNnMpi(const harness::RunConfig& config, const NnParams& p,
   Net net{p.inputs, p.hidden, p.outputs};
   msg::World world({.nprocs = config.nprocs,
                     .net = config.net,
-                    .seed = config.seed});
+                    .seed = config.seed,
+                    .faults = config.faults});
   double checksum = 0;
   world.run([&](msg::Rank& rank) -> sim::Task<void> {
     const size_t s_lo = sampleLo(p.samples, rank.size(), rank.id());
@@ -382,7 +386,8 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
                          .costs = config.costs,
                          .seed = config.seed,
                          .trace = config.trace,
-                         .metrics = config.metrics});
+                         .metrics = config.metrics,
+                         .faults = config.faults});
   NnLayout lay;
   Net net{params.inputs, params.hidden, params.outputs};
   lay.nw = net.weightCount();

@@ -92,7 +92,8 @@ sim::Task<void> sorVopp(vopp::Node& node, const SorParams& p,
       auto* m = reinterpret_cast<double*>(
           node.mem(off, (qhi - qlo) * row_bytes).data());
       for (size_t i = qlo; i < qhi; ++i)
-        for (size_t j = 0; j < C; ++j) m[(i - qlo) * C + j] = cell0(p.seed, i, j);
+        for (size_t j = 0; j < C; ++j)
+          m[(i - qlo) * C + j] = cell0(p.seed, i, j);
       node.chargeOps((qhi - qlo) * C, p.flop_ns);
       co_await node.releaseView(v);
     }
@@ -107,9 +108,10 @@ sim::Task<void> sorVopp(vopp::Node& node, const SorParams& p,
   {
     dsm::ViewId v = lay.block_views[static_cast<size_t>(pid)];
     co_await node.acquireView(v);
-    co_await node.copyOut(node.cluster().viewOffset(v),
-                          MutByteSpan(reinterpret_cast<std::byte*>(localRow(lo)),
-                                      mine * row_bytes));
+    co_await node.copyOut(
+        node.cluster().viewOffset(v),
+        MutByteSpan(reinterpret_cast<std::byte*>(localRow(lo)),
+                    mine * row_bytes));
     co_await node.releaseView(v);
   }
   co_await node.barrier();
@@ -274,13 +276,14 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
                          .costs = config.costs,
                          .seed = config.seed,
                          .trace = config.trace,
-                         .metrics = config.metrics});
+                         .metrics = config.metrics,
+                         .faults = config.faults});
   SorLayout lay;
   const size_t row_bytes = params.cols * sizeof(double);
   if (variant == SorVariant::kVopp) {
     for (int q = 0; q < config.nprocs; ++q) {
-      size_t rows =
-          rowHi(params.rows, config.nprocs, q) - rowLo(params.rows, config.nprocs, q);
+      size_t rows = rowHi(params.rows, config.nprocs, q) -
+                    rowLo(params.rows, config.nprocs, q);
       lay.block_views.push_back(cluster.defineView(rows * row_bytes));
     }
     for (int q = 0; q < config.nprocs; ++q) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dsm/types.hpp"
+#include "net/faults.hpp"
 #include "net/stats.hpp"
 #include "net/types.hpp"
 #include "obs/breakdown.hpp"
@@ -30,6 +31,9 @@ struct RunConfig {
   // post-processing: they never change what the run computes.
   bool critpath = false;
   bool pageheat = false;
+  // Caller-owned fault plan (net::FaultPlan); null or empty disables
+  // injection and keeps the run byte-identical to a plan-free build.
+  const net::FaultPlan* faults = nullptr;
 };
 
 // Everything the paper's statistics tables report about one run.

@@ -20,6 +20,8 @@ constexpr PageId pageOf(size_t byte_offset) {
   return static_cast<PageId>(byte_offset / kPageSize);
 }
 
-constexpr size_t pageStart(PageId p) { return static_cast<size_t>(p) * kPageSize; }
+constexpr size_t pageStart(PageId p) {
+  return static_cast<size_t>(p) * kPageSize;
+}
 
 }  // namespace vodsm::mem

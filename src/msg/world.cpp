@@ -122,9 +122,18 @@ void World::run(const Program& program) {
   network_ =
       std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                      opts_.seed);
+  if (opts_.faults && !opts_.faults->empty()) {
+    faults_ = std::make_unique<net::FaultInjector>(*opts_.faults, opts_.seed,
+                                                   opts_.nprocs);
+    network_->setFaults(faults_.get());
+  }
   ranks_.reserve(static_cast<size_t>(opts_.nprocs));
-  for (int i = 0; i < opts_.nprocs; ++i)
+  for (int i = 0; i < opts_.nprocs; ++i) {
     ranks_.push_back(std::make_unique<Rank>(*this, i));
+    if (faults_)
+      ranks_.back()->clock_.setScaler(
+          faults_->chargeScalerFor(static_cast<net::NodeId>(i)));
+  }
 
   std::vector<bool> finished(static_cast<size_t>(opts_.nprocs), false);
   std::exception_ptr first_error;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/transport.hpp"
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
@@ -27,6 +28,9 @@ struct WorldOptions {
   uint64_t seed = 42;
   // Software cost to pack/unpack one KB of message payload.
   sim::Time pack_per_kb = sim::usec(8);
+  // Caller-owned fault plan; null or empty means no injection (same
+  // contract as vopp::ClusterOptions::faults).
+  const net::FaultPlan* faults = nullptr;
 };
 
 class World;
@@ -93,6 +97,7 @@ class World {
   WorldOptions opts_;
   sim::Engine engine_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::FaultInjector> faults_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   sim::Time finish_time_ = 0;
   // Last member: rank frames abandoned by a deadlocked run must be reclaimed

@@ -9,6 +9,7 @@
 // ordered by global simulated time.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "net/faults.hpp"
 #include "net/stats.hpp"
 #include "net/types.hpp"
 #include "support/bytes.hpp"
@@ -90,6 +92,12 @@ class Network {
   // kOther (pure-ack drops are counted separately either way).
   void setClassifier(Classifier c) { classify_ = c; }
 
+  // Optional fault injector, queried once per frame at the switch (the same
+  // point where random cable loss applies). Null means no injection: the
+  // fault-free path draws no extra randomness and computes identical times,
+  // so runs without a plan stay byte-identical. Caller keeps ownership.
+  void setFaults(FaultInjector* f) { faults_ = f; }
+
   // Inject a frame from src to dst no earlier than `earliest` (typically the
   // sender's local clock). The caller has already decided the frame is worth
   // counting; this layer only counts frame/wire statistics.
@@ -158,18 +166,72 @@ class Network {
     }
   }
 
+  // Fault instants share the frame's correlation id, so injected drops,
+  // duplicates, and delays join the same flow as the frame in Perfetto and
+  // in the run graph.
+  void traceFault(FaultKind k, NodeId src, NodeId dst, const Bytes& frame) {
+    if (trace_)
+      trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kFaultInject,
+                      engine_.now(), static_cast<uint64_t>(k), frame.size(),
+                      obs::corrId(frameKind(frame),
+                                  frameSeqOwner(frame, src, dst),
+                                  frameSeq(frame)));
+  }
+
   void arriveSwitch(NodeId src, NodeId dst, Bytes frame) {
+    FaultAction fault;
+    if (faults_) {
+      fault = faults_->onFrame(src, dst, engine_.now());
+      if (fault.drop) {
+        stats_.frames_dropped_fault++;
+        traceFault(fault.cause, src, dst, frame);
+        recordDrop(src, dst, frame);
+        return;
+      }
+    }
     if (config_.random_loss > 0 && rng_.chance(config_.random_loss)) {
       stats_.frames_dropped_random++;
       recordDrop(src, dst, frame);
       return;
     }
     Port& p = port(dst);
-    const sim::Time tx = config_.txTime(frame.size());
-    const sim::Time start = std::max(engine_.now(), p.downlink_busy_until);
+    sim::Time tx = config_.txTime(frame.size());
+    if (fault.degraded) {
+      stats_.frames_degraded++;
+      tx = static_cast<sim::Time>(
+          std::llround(static_cast<double>(tx) * fault.tx_factor));
+      traceFault(FaultKind::kDegrade, src, dst, frame);
+    }
+    if (fault.reordered) {
+      stats_.frames_reordered++;
+      traceFault(FaultKind::kReorder, src, dst, frame);
+    }
+    // A held-back frame starts its downlink no earlier than now + delay;
+    // frames arriving in the meantime claim the link first and overtake it.
+    const sim::Time start =
+        std::max(engine_.now() + fault.extra_delay, p.downlink_busy_until);
     p.downlink_busy_until = start + tx;
     if (auto* m = metrics_)
       m->add(dst, obs::Metric::kDownlinkBusyNs, tx, engine_.now());
+    if (fault.duplicate) {
+      // The switch emits a second copy that serializes right behind the
+      // original and balances the books like a fresh transmission:
+      // +in-flight here, -in-flight at its delivery or drop.
+      stats_.frames_duplicated++;
+      traceFault(FaultKind::kDup, src, dst, frame);
+      Bytes copy = frame;
+      const sim::Time start2 = p.downlink_busy_until;
+      p.downlink_busy_until = start2 + tx;
+      if (auto* m = metrics_) {
+        m->add(src, obs::Metric::kInflightBytes,
+               static_cast<int64_t>(copy.size()), engine_.now());
+        m->add(dst, obs::Metric::kDownlinkBusyNs, tx, engine_.now());
+      }
+      engine_.at(start2 + tx,
+                 [this, src, dst, f = std::move(copy)]() mutable {
+                   arriveNic(src, dst, std::move(f));
+                 });
+    }
     engine_.at(start + tx, [this, src, dst, f = std::move(frame)]() mutable {
       arriveNic(src, dst, std::move(f));
     });
@@ -213,6 +275,7 @@ class Network {
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   Classifier classify_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   std::vector<Port> ports_;
 };
 

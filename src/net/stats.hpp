@@ -46,12 +46,22 @@ struct KindStats {
 };
 
 struct NetStats {
-  // Frame-level (what actually crossed the wire).
+  // Frame-level (what actually crossed the wire). frames_sent counts sender
+  // transmissions, so with fault-injected duplication the conservation
+  // invariant is: frames_delivered + all drop counters ==
+  // frames_sent + frames_duplicated (once the run drains). wire_bytes
+  // counts uplink crossings only.
   uint64_t frames_sent = 0;
   uint64_t frames_delivered = 0;
   uint64_t frames_dropped_overflow = 0;
   uint64_t frames_dropped_random = 0;
   uint64_t wire_bytes = 0;
+
+  // Fault injection (net::FaultPlan); all zero on fault-free runs.
+  uint64_t frames_dropped_fault = 0;  // loss/burst/partition rules
+  uint64_t frames_duplicated = 0;     // extra switch-made copies
+  uint64_t frames_reordered = 0;      // frames held back by a reorder rule
+  uint64_t frames_degraded = 0;       // frames through a degrade window
 
   // Transport-level (protocol view).
   uint64_t messages = 0;       // non-ack sends, including retransmissions
@@ -64,7 +74,8 @@ struct NetStats {
   // equal messages/payload_bytes/retransmissions exactly: every send and
   // every retransmission is attributed to one class. Drops are attributed
   // by the class of the dropped frame; per-class drops plus ack_drops equal
-  // frames_dropped_overflow + frames_dropped_random exactly.
+  // frames_dropped_overflow + frames_dropped_random +
+  // frames_dropped_fault exactly.
   KindStats kind[kMsgClassCount];
 
   KindStats& of(MsgClass c) { return kind[static_cast<size_t>(c)]; }

@@ -12,7 +12,12 @@ using NodeId = uint32_t;
 
 // Message kinds on the wire. Shared between the transport (which encodes
 // them) and the network model (which peeks at them to attribute drops).
-enum class FrameKind : uint8_t { kData = 0, kRequest = 1, kReply = 2, kAck = 3 };
+enum class FrameKind : uint8_t {
+  kData = 0,
+  kRequest = 1,
+  kReply = 2,
+  kAck = 3
+};
 
 // Models the paper's testbed: a 100 Mbps N-way switched Ethernet connecting
 // Linux PCs, with UDP-style user-level reliability. Every parameter is

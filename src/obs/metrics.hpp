@@ -70,7 +70,8 @@ enum class Metric : uint8_t {
   kBlockedAtBarrier,  // gauge: 1 while the node waits at a barrier
   kMetricCount,
 };
-inline constexpr size_t kMetricCount = static_cast<size_t>(Metric::kMetricCount);
+inline constexpr size_t kMetricCount =
+    static_cast<size_t>(Metric::kMetricCount);
 
 enum class MetricKind : uint8_t { kGauge = 0, kCounter = 1 };
 
@@ -157,8 +158,8 @@ class MetricsRegistry {
     if (node >= nodes_.size()) nodes_.resize(static_cast<size_t>(node) + 1);
     Series& s = nodes_[node][static_cast<size_t>(m)];
     if (ts > s.last_ts) {
-      s.area +=
-          static_cast<__int128>(s.value) * static_cast<__int128>(ts - s.last_ts);
+      s.area += static_cast<__int128>(s.value) *
+                static_cast<__int128>(ts - s.last_ts);
       s.last_ts = ts;
     }
     s.value += delta;

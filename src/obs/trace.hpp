@@ -63,6 +63,7 @@ enum class Cat : uint8_t {
   kDeliver,        // a0 = frame kind, a1 = frame bytes (corr set)
   kRetransmit,     // a0 = message type, a1 = payload bytes (corr set)
   kDrop,           // a0 = sender, a1 = frame bytes (corr carries frame kind)
+  kFaultInject,    // a0 = net::FaultKind, a1 = frame bytes (corr set)
   // engine pseudo-node (span)
   kEngineRun,      // a0 = events processed (on end)
   kCatCount,
@@ -144,6 +145,7 @@ inline constexpr CatInfo kCatInfo[static_cast<size_t>(Cat::kCatCount)] = {
     {"deliver", Track::kNet, "kind", "bytes"},
     {"retransmit", Track::kNet, "type", "bytes"},
     {"drop", Track::kNet, "sender", "bytes"},
+    {"fault_inject", Track::kNet, "fault", "bytes"},
     {"engine_run", Track::kApp, "events", nullptr},
 };
 

@@ -13,6 +13,17 @@
 
 namespace vodsm::sim {
 
+// Optional hook that rescales CPU charges (fault injection uses it to model
+// straggler nodes). Stateless from the clock's point of view: scale() must
+// be a pure function of (dt, now) so charging is independent of call
+// batching. When no scaler is installed the clock behaves exactly as
+// before — one null check, no heap, no time effect.
+class ChargeScaler {
+ public:
+  virtual ~ChargeScaler() = default;
+  virtual Time scale(Time dt, Time now) const = 0;
+};
+
 class Clock {
  public:
   Time now() const { return now_; }
@@ -20,7 +31,7 @@ class Clock {
   // Account local CPU work.
   void charge(Time dt) {
     VODSM_DCHECK(dt >= 0);
-    now_ += dt;
+    now_ += scaler_ ? scaler_->scale(dt, now_) : dt;
   }
 
   // Clamp forward to an externally observed time (message arrival etc.).
@@ -28,8 +39,12 @@ class Clock {
     if (t > now_) now_ = t;
   }
 
+  // Install (or clear) a charge scaler; caller keeps ownership.
+  void setScaler(const ChargeScaler* s) { scaler_ = s; }
+
  private:
   Time now_ = 0;
+  const ChargeScaler* scaler_ = nullptr;
 };
 
 // Awaitable that suspends the current coroutine and resumes it once the

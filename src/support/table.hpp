@@ -16,7 +16,9 @@ class TextTable {
  public:
   void header(std::vector<std::string> cells) { header_ = std::move(cells); }
 
-  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
 
   // Convenience for numeric rows: label + already formatted values.
   template <typename... Ts>

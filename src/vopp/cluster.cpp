@@ -28,6 +28,11 @@ void Cluster::run(const Program& program) {
   network_->setTrace(opts_.trace);
   network_->setMetrics(opts_.metrics);
   network_->setClassifier(&dsm::classifyMsg);
+  if (opts_.faults && !opts_.faults->empty()) {
+    faults_ = std::make_unique<net::FaultInjector>(*opts_.faults, opts_.seed,
+                                                   opts_.nprocs);
+    network_->setFaults(faults_.get());
+  }
   ctxs_.reserve(static_cast<size_t>(opts_.nprocs));
   runtimes_.reserve(static_cast<size_t>(opts_.nprocs));
   nodes_.reserve(static_cast<size_t>(opts_.nprocs));
@@ -35,6 +40,9 @@ void Cluster::run(const Program& program) {
     ctxs_.push_back(std::make_unique<dsm::NodeCtx>(
         static_cast<dsm::NodeId>(i), opts_.nprocs, engine_, *network_, views_,
         opts_.costs, opts_.trace, opts_.metrics));
+    if (faults_)
+      ctxs_.back()->clock.setScaler(
+          faults_->chargeScalerFor(static_cast<net::NodeId>(i)));
     runtimes_.push_back(makeRuntime(*ctxs_.back()));
     nodes_.push_back(
         std::make_unique<Node>(*this, *ctxs_.back(), *runtimes_.back()));

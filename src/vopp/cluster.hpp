@@ -50,6 +50,11 @@ struct ClusterOptions {
   // engines, network, VOPP primitives). Null disables metrics; like tracing,
   // metering never perturbs simulated results.
   obs::MetricsRegistry* metrics = nullptr;
+  // Caller-owned fault plan. Null (or an empty plan) installs no injector,
+  // so fault-free runs stay byte-identical; otherwise the cluster binds the
+  // plan to this run's seed and wires it into the network and every node
+  // clock (straggler rules).
+  const net::FaultPlan* faults = nullptr;
 };
 
 class Cluster;
@@ -295,6 +300,7 @@ class Cluster {
 
   sim::Engine engine_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::FaultInjector> faults_;
   std::vector<std::unique_ptr<dsm::NodeCtx>> ctxs_;
   std::vector<std::unique_ptr<dsm::Runtime>> runtimes_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -68,7 +68,8 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = proto;
     c.nprocs = 4;
-    cells.emplace_back(name, [=] { return apps::runIs(c, is, variant).result; });
+    cells.emplace_back(name,
+                       [=] { return apps::runIs(c, is, variant).result; });
   }
 
   apps::GaussParams gauss;

@@ -417,7 +417,8 @@ TEST(Obs, DropAttributionSumsToFrameCounters) {
   for (int k = 0; k < net::kMsgClassCount; ++k)
     class_drops += r.net.kind[k].drops;
   EXPECT_EQ(class_drops + r.net.ack_drops,
-            r.net.frames_dropped_overflow + r.net.frames_dropped_random);
+            r.net.frames_dropped_overflow + r.net.frames_dropped_random +
+                r.net.frames_dropped_fault);
   EXPECT_GT(class_drops + r.net.ack_drops, 0u) << "lossy run should drop";
 }
 
@@ -552,7 +553,8 @@ TEST(Metrics, ConservationInvariantsOnRealRuns) {
       }
       EXPECT_EQ(r.metrics.totalFinal(M::kFrameDrops),
                 static_cast<int64_t>(r.net.frames_dropped_overflow +
-                                     r.net.frames_dropped_random))
+                                     r.net.frames_dropped_random +
+                                     r.net.frames_dropped_fault))
           << app.name;
       EXPECT_GT(r.metrics.totalFinal(M::kDiffsCreated), 0) << app.name;
       EXPECT_GT(r.metrics.totalFinal(M::kTwinReclaimBytes), 0) << app.name;
@@ -574,7 +576,8 @@ TEST(Metrics, DropCounterMatchesNetStatsOnLossyRuns) {
   obs::MetricsRegistry reg{sim::usec(200)};
   RunResult r = runMeteredIs(c, &reg);
   const int64_t dropped = static_cast<int64_t>(r.net.frames_dropped_overflow +
-                                               r.net.frames_dropped_random);
+                                               r.net.frames_dropped_random +
+                                               r.net.frames_dropped_fault);
   EXPECT_GT(dropped, 0) << "lossy run should drop frames";
   EXPECT_EQ(r.metrics.totalFinal(M::kFrameDrops), dropped);
   // Dropped frames left the sender's in-flight gauge too.

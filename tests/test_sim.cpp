@@ -119,7 +119,9 @@ Task<int> addOne(Task<int> inner) { co_return co_await std::move(inner) + 1; }
 
 TEST(Task, ChainsThroughCoAwait) {
   int result = 0;
-  spawn([](int& out) -> Task<void> { out = co_await addOne(answer()); }(result));
+  spawn([](int& out) -> Task<void> {
+    out = co_await addOne(answer());
+  }(result));
   EXPECT_EQ(result, 43);
 }
 
@@ -143,8 +145,9 @@ TEST(Task, ExceptionPropagatesToSpawnCallback) {
 TEST(TaskScope, CompletedTasksDeregister) {
   TaskScope scope;
   int result = 0;
-  spawn(scope,
-        [](int& out) -> Task<void> { out = co_await addOne(answer()); }(result));
+  spawn(scope, [](int& out) -> Task<void> {
+    out = co_await addOne(answer());
+  }(result));
   EXPECT_EQ(result, 43);
   EXPECT_EQ(scope.liveCount(), 0u);
 }

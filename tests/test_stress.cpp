@@ -193,7 +193,8 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyStress, ::testing::ValuesIn(kCases),
 // scheduling.
 TEST(ParallelLedgerSweep, MatchesExpectationAndSerialRun) {
   std::vector<std::function<LedgerOutcome()>> tasks;
-  for (const StressCase& c : kCases) tasks.push_back([c] { return runLedger(c); });
+  for (const StressCase& c : kCases)
+    tasks.push_back([c] { return runLedger(c); });
 
   auto parallel = harness::runAll(tasks, /*jobs=*/0);  // env/core default
   auto serial = harness::runAll(tasks, /*jobs=*/1);

@@ -171,7 +171,8 @@ TEST_P(VcApiTest, MergeViewsBringsEverythingUpToDate) {
     // After merge_views every view's content is locally visible.
     for (int i = 0; i < 3; ++i) {
       size_t o = node.cluster().viewOffset(views[static_cast<size_t>(i)]);
-      int64_t got = *reinterpret_cast<const int64_t*>(node.memView(o, 8).data());
+      int64_t got =
+          *reinterpret_cast<const int64_t*>(node.memView(o, 8).data());
       if (got != i + 100) throw Error("merge_views left stale data");
     }
     co_await node.barrier();
