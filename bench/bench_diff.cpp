@@ -57,10 +57,14 @@ struct Report {
 
 bool isHostTimingKey(const std::string& key) {
   return key == "host_seconds" || key == "wall_seconds" ||
-         key == "serial_wall_seconds" || key == "speedup_vs_serial";
+         key == "serial_wall_seconds" || key == "speedup_vs_serial" ||
+         key == "self_speedup_vs_serial";
 }
 
-bool isIgnoredKey(const std::string& key) { return key == "jobs"; }
+// Host run-shape knobs: thread counts never change simulated output.
+bool isIgnoredKey(const std::string& key) {
+  return key == "jobs" || key == "sim_threads";
+}
 
 std::string describe(const Json& v) {
   switch (v.type()) {

@@ -23,6 +23,12 @@ struct Options {
   // Host threads for the cell sweep: 0 = VODSM_JOBS env or hardware
   // concurrency; 1 = serial.
   int jobs = 0;
+  // Engine worker threads inside each cell (conservative parallel
+  // schedule): 1 = serial reference, N > 1 = N workers with bit-identical
+  // simulated results, 0 = VODSM_SIM_THREADS env (default serial). Cells
+  // run with N > 1 also rerun serially and record the host-time
+  // self-speedup per cell in the JSON.
+  int sim_threads = 0;
   // When nonempty, append this run's machine-readable record there.
   std::string json;
   // Trace every cell and report per-run time breakdowns (stdout tables for
@@ -72,13 +78,15 @@ inline Options parseArgs(int argc, char** argv) {
     else if (a == "--compare-serial") o.compare_serial = true;
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
+    else if (a.rfind("--sim-threads=", 0) == 0)
+      o.sim_threads = parseIntArg(a, 14);
     else if (a.rfind("--json=", 0) == 0) o.json = a.substr(7);
     else if (a.rfind("--faults=", 0) == 0) o.faults = a.substr(9);
     else {
       std::cerr << "usage: " << argv[0]
-                << " [--full] [--procs=N] [--jobs=N] [--json=PATH]"
-                   " [--breakdown] [--critpath] [--pageheat] [--metrics]"
-                   " [--compare-serial] [--faults=SPEC]\n";
+                << " [--full] [--procs=N] [--jobs=N] [--sim-threads=N]"
+                   " [--json=PATH] [--breakdown] [--critpath] [--pageheat]"
+                   " [--metrics] [--compare-serial] [--faults=SPEC]\n";
       std::exit(2);
     }
   }

@@ -19,6 +19,7 @@
 
 #include "bench/tables.hpp"
 #include "harness/parallel_runner.hpp"
+#include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace vodsm;
@@ -67,7 +68,9 @@ int main(int argc, char** argv) {
   };
 
   std::cerr << "table_suite: " << slots.size() << " cells across "
-            << specs.size() << " tables, jobs=" << jobs << "\n";
+            << specs.size() << " tables, jobs=" << jobs
+            << ", sim_threads=" << sim::resolveSimThreads(opts.sim_threads)
+            << "\n";
   auto [runs, wall] = sweep(jobs);
 
   double serial_wall = 0;

@@ -40,6 +40,9 @@ namespace {
       "  --variant=vopp|traditional|vopp_lb (default vopp)\n"
       "  --procs=N       processors (default 16)\n"
       "  --seed=N        simulation seed (default 42)\n"
+      "  --sim-threads=N engine worker threads for the conservative\n"
+      "                  parallel schedule; results are bit-identical to\n"
+      "                  N=1 (default: VODSM_SIM_THREADS, else serial)\n"
       "  --trace=FILE    write a Chrome/Perfetto trace of the run\n"
       "  --breakdown     print per-node simulated-time breakdown\n"
       "  --netstats      print per-message-kind traffic breakdown\n"
@@ -131,12 +134,12 @@ int main(int argc, char** argv) {
   // ignored and the run would report nothing unusual; now it is an error.
   static const std::set<std::string> kKnownFlags = {
       "app",          "runtime",   "variant",      "procs",
-      "seed",         "trace",     "breakdown",    "netstats",
-      "critpath",     "pageheat",  "pageheat-csv", "memstats",
-      "metrics-csv",  "metrics-interval",          "faults",
-      "keys",         "buckets",   "iters",        "n",
-      "rows",         "cols",      "samples",      "epochs",
-      "hidden"};
+      "seed",         "sim-threads",              "trace",
+      "breakdown",    "netstats",  "critpath",     "pageheat",
+      "pageheat-csv", "memstats",  "metrics-csv",  "metrics-interval",
+      "faults",       "keys",      "buckets",      "iters",
+      "n",            "rows",      "cols",         "samples",
+      "epochs",       "hidden"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -160,6 +163,7 @@ int main(int argc, char** argv) {
   harness::RunConfig cfg;
   cfg.nprocs = static_cast<int>(args.num("procs", 16));
   cfg.seed = args.num("seed", 42);
+  cfg.sim_threads = static_cast<int>(args.num("sim-threads", 0));
   const std::string trace_path = args.get("trace", "");
   const bool want_breakdown = args.kv.count("breakdown") > 0;
   const bool want_netstats = args.kv.count("netstats") > 0;

@@ -226,6 +226,7 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
+                         .sim_threads = config.sim_threads,
                          .trace = config.trace,
                          .metrics = config.metrics,
                          .faults = config.faults});

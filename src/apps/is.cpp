@@ -298,6 +298,7 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
+                         .sim_threads = config.sim_threads,
                          .trace = config.trace,
                          .metrics = config.metrics,
                          .faults = config.faults});

@@ -342,6 +342,7 @@ double runNnMpi(const harness::RunConfig& config, const NnParams& p,
   msg::World world({.nprocs = config.nprocs,
                     .net = config.net,
                     .seed = config.seed,
+                    .sim_threads = config.sim_threads,
                     .faults = config.faults});
   double checksum = 0;
   world.run([&](msg::Rank& rank) -> sim::Task<void> {
@@ -385,6 +386,7 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
+                         .sim_threads = config.sim_threads,
                          .trace = config.trace,
                          .metrics = config.metrics,
                          .faults = config.faults});

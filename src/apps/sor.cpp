@@ -275,6 +275,7 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
                          .net = config.net,
                          .costs = config.costs,
                          .seed = config.seed,
+                         .sim_threads = config.sim_threads,
                          .trace = config.trace,
                          .metrics = config.metrics,
                          .faults = config.faults});

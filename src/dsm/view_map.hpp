@@ -45,7 +45,12 @@ class ViewMap {
     d.home = home;
     top_ += span * mem::kPageSize;
     views_.push_back(d);
-    return static_cast<ViewId>(views_.size() - 1);
+    const ViewId id = static_cast<ViewId>(views_.size() - 1);
+    // Maintain the flat page -> view table (kNoView for gaps left by
+    // allocRaw); viewOfPage is a hot per-fault lookup.
+    page_view_.resize(d.first_page + d.page_count, kNoView);
+    std::fill(page_view_.begin() + d.first_page, page_view_.end(), id);
+    return id;
   }
 
   // The manager (home) node of view `v` on an `nprocs`-node cluster.
@@ -72,18 +77,12 @@ class ViewMap {
     return views_[v];
   }
 
-  // The view containing page `p`, if any. Views are defined in address
-  // order, so binary search applies.
+  // The view containing page `p`, if any. O(1): a flat per-page table is
+  // maintained by defineView (this is on the page-fault hot path).
   std::optional<ViewId> viewOfPage(mem::PageId p) const {
-    auto it = std::upper_bound(views_.begin(), views_.end(), p,
-                               [](mem::PageId page, const ViewDef& d) {
-                                 return page < d.first_page;
-                               });
-    if (it == views_.begin()) return std::nullopt;
-    --it;
-    if (p < it->first_page + it->page_count)
-      return static_cast<ViewId>(it - views_.begin());
-    return std::nullopt;
+    if (p >= page_view_.size() || page_view_[p] == kNoView)
+      return std::nullopt;
+    return page_view_[p];
   }
 
   bool viewContainsRange(ViewId v, size_t offset, size_t len) const {
@@ -97,9 +96,12 @@ class ViewMap {
   }
 
  private:
+  static constexpr ViewId kNoView = static_cast<ViewId>(-1);
+
   void alignTo(size_t align) { top_ = (top_ + align - 1) / align * align; }
 
   std::vector<ViewDef> views_;
+  std::vector<ViewId> page_view_;  // page -> owning view, kNoView if none
   size_t top_ = 0;
 };
 

@@ -22,6 +22,11 @@ struct RunConfig {
   net::NetConfig net;
   dsm::DsmCosts costs;
   uint64_t seed = 42;
+  // Engine worker threads for the conservative parallel schedule: 1 runs
+  // the serial reference, N > 1 runs N workers with bit-identical results,
+  // 0 defers to VODSM_SIM_THREADS (default serial). Host-side only — never
+  // changes what the run computes.
+  int sim_threads = 0;
   // Caller-owned recorder; null disables tracing (see vopp::ClusterOptions).
   obs::TraceRecorder* trace = nullptr;
   // Caller-owned counter/gauge registry; null disables metrics. Like the
@@ -52,6 +57,12 @@ struct RunResult {
   // was metered via RunConfig::metrics. The MPI reference runner does not
   // meter, so its results leave this empty.
   obs::MetricsSummary metrics;
+  // Host-side observability of the engine's parallel schedule: the worker
+  // count the run used, and — when a serial reference rerun was timed —
+  // host-time serial/parallel ratio (0 = not measured). Never simulated
+  // output; the bench gate treats these as host-timing/ignored keys.
+  int sim_threads = 1;
+  double self_speedup_vs_serial = 0;
 
   double dataMBytes() const {
     return static_cast<double>(net.payload_bytes) / 1e6;

@@ -8,25 +8,24 @@ namespace vodsm::mem {
 namespace {
 constexpr size_t kWord = 4;
 static_assert(kPageSize % 8 == 0, "64-bit scan assumes 8-byte-multiple pages");
-}
 
 // 64-bit twin comparison with run coalescing. Semantics are identical to
 // the original 4-byte-word memcmp scan (runs are maximal sequences of
 // differing 4-byte words), but the clean fast path — an unchanged 8-byte
 // block — is one XOR, and the per-word result falls out of the same XOR's
 // halves, so scanning a mostly-clean page touches each cache line once.
-Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin) {
+void scanPage(ByteSpan current, ByteSpan twin, std::vector<Diff::Run>& runs,
+              Bytes& data) {
   VODSM_CHECK(current.size() == kPageSize && twin.size() == kPageSize);
-  Diff d(page);
   const std::byte* cur = current.data();
   const std::byte* tw = twin.data();
 
   size_t run_start = kPageSize;  // kPageSize == no run open
   auto flush = [&](size_t end) {
     if (run_start == kPageSize) return;
-    d.runs_.push_back(Run{static_cast<uint16_t>(run_start),
-                          static_cast<uint16_t>(end - run_start)});
-    d.data_.insert(d.data_.end(), cur + run_start, cur + end);
+    runs.push_back(Diff::Run{static_cast<uint16_t>(run_start),
+                             static_cast<uint16_t>(end - run_start)});
+    data.insert(data.end(), cur + run_start, cur + end);
     run_start = kPageSize;
   };
 
@@ -52,6 +51,23 @@ Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin) {
     }
   }
   flush(kPageSize);
+}
+}  // namespace
+
+Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin) {
+  Diff d(page);
+  scanPage(current, twin, d.runs_, d.data_);
+  return d;
+}
+
+Diff Diff::create(PageId page, ByteSpan current, ByteSpan twin,
+                  Scratch& scratch) {
+  scratch.runs.clear();
+  scratch.data.clear();
+  scanPage(current, twin, scratch.runs, scratch.data);
+  Diff d(page);
+  d.runs_.assign(scratch.runs.begin(), scratch.runs.end());
+  d.data_.assign(scratch.data.begin(), scratch.data.end());
   return d;
 }
 

@@ -32,6 +32,20 @@ class Diff {
   // Word-granular comparison of `current` against `twin` (both one page).
   static Diff create(PageId page, ByteSpan current, ByteSpan twin);
 
+  // Reusable scan buffers for the arena variant of create() below. One
+  // Scratch per owner (e.g. per-node PageStore) keeps the hot diff path
+  // free of vector growth: the scan runs in capacity retained across
+  // calls and the resulting Diff is sized exactly once.
+  struct Scratch {
+    std::vector<Run> runs;
+    Bytes data;
+  };
+
+  // As create(), but scans into `scratch` (capacity retained across calls)
+  // and copies the exact-size result out. Produces an identical Diff.
+  static Diff create(PageId page, ByteSpan current, ByteSpan twin,
+                     Scratch& scratch);
+
   // Overwrite the covered ranges of `page_bytes` with this diff's data.
   void apply(MutByteSpan page_bytes) const;
 

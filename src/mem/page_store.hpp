@@ -53,9 +53,17 @@ class PageStore {
   bool hasTwin(PageId p) const { return pages_[p].twin != nullptr; }
 
   // Snapshot the current page contents as the twin (write-fault action).
+  // Twin buffers are recycled through a free list: a steady-state
+  // write-fault/release cycle allocates nothing.
   void makeTwin(PageId p) {
     VODSM_DCHECK(!hasTwin(p));
-    auto twin = std::make_unique<Bytes>(kPageSize);
+    std::unique_ptr<Bytes> twin;
+    if (!twin_pool_.empty()) {
+      twin = std::move(twin_pool_.back());
+      twin_pool_.pop_back();
+    } else {
+      twin = std::make_unique<Bytes>(kPageSize);
+    }
     ByteSpan cur = pageView(p);
     std::copy(cur.begin(), cur.end(), twin->begin());
     pages_[p].twin = std::move(twin);
@@ -66,13 +74,16 @@ class PageStore {
     return *pages_[p].twin;
   }
 
-  void dropTwin(PageId p) { pages_[p].twin.reset(); }
+  void dropTwin(PageId p) {
+    if (pages_[p].twin) twin_pool_.push_back(std::move(pages_[p].twin));
+  }
 
   // Diff current contents against the twin; the twin is kept (callers drop
-  // it once the diff has been recorded).
+  // it once the diff has been recorded). Scans through the store's scratch
+  // arena so repeated diffing allocates only the exact-size results.
   Diff diffAgainstTwin(PageId p) const {
     VODSM_DCHECK(hasTwin(p));
-    return Diff::create(p, pageView(p), *pages_[p].twin);
+    return Diff::create(p, pageView(p), *pages_[p].twin, scratch_);
   }
 
  private:
@@ -83,6 +94,8 @@ class PageStore {
 
   Bytes mem_;
   std::vector<PageMeta> pages_;
+  std::vector<std::unique_ptr<Bytes>> twin_pool_;  // recycled twin buffers
+  mutable Diff::Scratch scratch_;
 };
 
 }  // namespace vodsm::mem

@@ -119,6 +119,9 @@ sim::Task<void> Rank::allreduce(std::vector<int64_t>& inout) {
 
 void World::run(const Program& program) {
   VODSM_CHECK_MSG(network_ == nullptr, "World::run called twice");
+  // One engine lane per rank; the schedule is identical for any thread
+  // count (see sim::Engine).
+  engine_.configureLanes(opts_.nprocs, opts_.sim_threads);
   network_ =
       std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                      opts_.seed);
@@ -135,19 +138,28 @@ void World::run(const Program& program) {
           faults_->chargeScalerFor(static_cast<net::NodeId>(i)));
   }
 
-  std::vector<bool> finished(static_cast<size_t>(opts_.nprocs), false);
-  std::exception_ptr first_error;
+  // Per-rank completion slots: finish callbacks run inside each rank's lane
+  // (possibly on worker threads); folds happen after the engine drains.
+  std::vector<unsigned char> finished(static_cast<size_t>(opts_.nprocs), 0);
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(opts_.nprocs));
+  std::vector<sim::Time> done_times(static_cast<size_t>(opts_.nprocs), 0);
   for (int i = 0; i < opts_.nprocs; ++i) {
     Rank& rank = *ranks_[static_cast<size_t>(i)];
+    sim::Engine::LaneGuard lane(engine_, static_cast<net::NodeId>(i));
     sim::spawn(scope_, program(rank),
-               [this, i, &rank, &finished, &first_error](std::exception_ptr e) {
-                 finished[static_cast<size_t>(i)] = true;
-                 if (e && !first_error) first_error = e;
-                 finish_time_ = std::max(finish_time_, rank.now());
+               [i, &rank, &finished, &errors,
+                &done_times](std::exception_ptr e) {
+                 finished[static_cast<size_t>(i)] = 1;
+                 if (e) errors[static_cast<size_t>(i)] = e;
+                 done_times[static_cast<size_t>(i)] = rank.now();
                });
   }
   engine_.run();
-  if (first_error) std::rethrow_exception(first_error);
+  for (int i = 0; i < opts_.nprocs; ++i)
+    finish_time_ = std::max(finish_time_, done_times[static_cast<size_t>(i)]);
+  for (int i = 0; i < opts_.nprocs; ++i)
+    if (errors[static_cast<size_t>(i)])
+      std::rethrow_exception(errors[static_cast<size_t>(i)]);
   for (int i = 0; i < opts_.nprocs; ++i)
     VODSM_CHECK_MSG(finished[static_cast<size_t>(i)],
                     "deadlock: rank " << i << " never finished");

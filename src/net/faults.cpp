@@ -335,10 +335,14 @@ sim::Time FaultInjector::NodeScaler::scale(sim::Time dt,
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, uint64_t run_seed, int n_nodes)
-    : plan_(std::move(plan)),
-      rng_(plan_.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL) ^
-           0x5ca1ab1e0ddba11ULL),
-      used_(plan_.rules.size(), 0) {
+    : plan_(std::move(plan)) {
+  const uint64_t base = plan_.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL) ^
+                        0x5ca1ab1e0ddba11ULL;
+  shards_.reserve(static_cast<size_t>(n_nodes));
+  for (NodeId dst = 0; dst < static_cast<NodeId>(n_nodes); ++dst)
+    shards_.push_back(
+        Shard{sim::Rng(base ^ ((dst + 1) * 0x9e3779b97f4a7c15ULL)),
+              std::vector<uint64_t>(plan_.rules.size(), 0)});
   scalers_.resize(static_cast<size_t>(n_nodes));
   for (NodeId node = 0; node < static_cast<NodeId>(n_nodes); ++node) {
     std::vector<const FaultRule*> slow;
@@ -356,7 +360,15 @@ const sim::ChargeScaler* FaultInjector::chargeScalerFor(NodeId node) const {
   return scalers_[node].get();
 }
 
+uint64_t FaultInjector::droppedBy(size_t i) const {
+  uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.used[i];
+  return total;
+}
+
 FaultAction FaultInjector::onFrame(NodeId src, NodeId dst, sim::Time now) {
+  VODSM_DCHECK(dst < shards_.size());
+  Shard& sh = shards_[dst];
   FaultAction a;
   for (size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& r = plan_.rules[i];
@@ -364,8 +376,8 @@ FaultAction FaultInjector::onFrame(NodeId src, NodeId dst, sim::Time now) {
     if (!ruleActive(r, now) || !linkMatches(r, src, dst)) continue;
     switch (r.kind) {
       case FaultKind::kLoss:
-        if (used_[i] < r.budget && rng_.chance(r.p)) {
-          used_[i]++;
+        if (sh.used[i] < r.budget && sh.rng.chance(r.p)) {
+          sh.used[i]++;
           a.drop = true;
           a.cause = r.kind;
           return a;
@@ -373,18 +385,18 @@ FaultAction FaultInjector::onFrame(NodeId src, NodeId dst, sim::Time now) {
         break;
       case FaultKind::kBurst:
       case FaultKind::kPartition:
-        if (used_[i] < r.budget) {
-          used_[i]++;
+        if (sh.used[i] < r.budget) {
+          sh.used[i]++;
           a.drop = true;
           a.cause = r.kind;
           return a;
         }
         break;
       case FaultKind::kDup:
-        if (!a.duplicate && rng_.chance(r.p)) a.duplicate = true;
+        if (!a.duplicate && sh.rng.chance(r.p)) a.duplicate = true;
         break;
       case FaultKind::kReorder:
-        if (rng_.chance(r.p)) {
+        if (sh.rng.chance(r.p)) {
           a.reordered = true;
           a.extra_delay += r.delay;
         }

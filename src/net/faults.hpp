@@ -123,9 +123,13 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
 
   // Evaluates non-slow rules in plan order against one frame. Draws from
-  // the private Rng only for probabilistic rules that are in-window and
-  // match the link, so out-of-window plans consume no randomness. A drop
-  // short-circuits the remaining rules.
+  // the destination's private Rng only for probabilistic rules that are
+  // in-window and match the link, so out-of-window plans consume no
+  // randomness. A drop short-circuits the remaining rules. Randomness and
+  // rule budgets are sharded per destination node — the switch decision for
+  // a frame runs in the receiver's engine lane, so shards are never touched
+  // concurrently and the fault stream is independent of lane interleaving.
+  // (Budgets therefore cap drops per receiving node, not globally.)
   FaultAction onFrame(NodeId src, NodeId dst, sim::Time now);
 
   // Charge scaler for `node`, or null when no slow rule can ever match it
@@ -133,8 +137,9 @@ class FaultInjector {
   // owned by the injector and must outlive the run.
   const sim::ChargeScaler* chargeScalerFor(NodeId node) const;
 
-  // Frames dropped by rule `i` so far (budget consumption), for tests.
-  uint64_t droppedBy(size_t i) const { return used_[i]; }
+  // Frames dropped by rule `i` so far (budget consumption, summed over the
+  // per-destination shards), for tests.
+  uint64_t droppedBy(size_t i) const;
 
  private:
   class NodeScaler : public sim::ChargeScaler {
@@ -147,9 +152,14 @@ class FaultInjector {
     std::vector<const FaultRule*> rules_;
   };
 
+  // Per-destination-node injection state (see onFrame).
+  struct Shard {
+    sim::Rng rng;
+    std::vector<uint64_t> used;  // per-rule frames dropped at this receiver
+  };
+
   FaultPlan plan_;
-  sim::Rng rng_;
-  std::vector<uint64_t> used_;  // per-rule frames dropped
+  std::vector<Shard> shards_;  // indexed by destination node
   std::vector<std::unique_ptr<NodeScaler>> scalers_;  // per node; may be null
 };
 

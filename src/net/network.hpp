@@ -62,15 +62,34 @@ class Network {
   Network(sim::Engine& engine, int n_nodes, NetConfig config, uint64_t seed)
       : engine_(engine),
         config_(config),
-        rng_(seed),
-        ports_(static_cast<size_t>(n_nodes)) {
+        ports_(static_cast<size_t>(n_nodes)),
+        shards_(static_cast<size_t>(n_nodes)) {
     VODSM_CHECK(n_nodes > 0);
+    // Per-receiver loss streams: the switch's random-loss draw for a frame
+    // happens in the receiver's lane, so each destination forks its own
+    // stream off the run seed and lanes never share an Rng.
+    sim::Rng root(seed);
+    rngs_.reserve(static_cast<size_t>(n_nodes));
+    for (int i = 0; i < n_nodes; ++i) rngs_.push_back(root.fork());
+    // The topology's minimum frame latency is the engine's conservative
+    // lookahead: cross-lane posts (startUplink -> arriveSwitch) always land
+    // at least this far in the destination's future.
+    engine_.setLookahead(config_.minLatency());
   }
 
   int nodeCount() const { return static_cast<int>(ports_.size()); }
   const NetConfig& config() const { return config_; }
-  NetStats& stats() { return stats_; }
-  const NetStats& stats() const { return stats_; }
+
+  // Counters are sharded per node so lanes never write the same cache
+  // lines: sender-side counters (frames_sent, wire_bytes, transport sends)
+  // live in the sender's shard, everything decided at the switch or NIC in
+  // the receiver's. stats() folds the shards into one total on demand.
+  NetStats& statsFor(NodeId node) { return shards_[node]; }
+  const NetStats& stats() const {
+    total_ = NetStats{};
+    for (const NetStats& s : shards_) total_.add(s);
+    return total_;
+  }
 
   void setDeliver(NodeId node, DeliverFn fn) {
     port(node).deliver = std::move(fn);
@@ -128,17 +147,21 @@ class Network {
     const sim::Time depart = std::max(now + config_.sendOverhead(frame.size()),
                                       p.uplink_busy_until);
     p.uplink_busy_until = depart + tx;
-    stats_.frames_sent++;
-    stats_.wire_bytes += config_.wireBytes(frame.size());
+    statsFor(src).frames_sent++;
+    statsFor(src).wire_bytes += config_.wireBytes(frame.size());
     if (auto* m = metrics_) {
       m->add(src, obs::Metric::kInflightBytes,
              static_cast<int64_t>(frame.size()), now);
       m->add(src, obs::Metric::kUplinkBusyNs, tx, now);
     }
-    engine_.at(depart + tx + config_.wire_latency,
-               [this, src, dst, f = std::move(frame)]() mutable {
-                 arriveSwitch(src, dst, std::move(f));
-               });
+    // The only cross-lane hop in the simulator: everything from the switch
+    // on happens in the receiver's lane. The arrival time is at least
+    // now + minLatency() (send overhead + serialization + wire latency all
+    // bound their empty-frame minima), which is the lookahead contract.
+    engine_.atLane(dst, depart + tx + config_.wire_latency,
+                   [this, src, dst, f = std::move(frame)]() mutable {
+                     arriveSwitch(src, dst, std::move(f));
+                   });
   }
 
   // Shared bookkeeping for both drop sites: per-class counters plus the
@@ -147,11 +170,11 @@ class Network {
   // same flow as the original send.
   void recordDrop(NodeId src, NodeId dst, const Bytes& frame) {
     if (static_cast<FrameKind>(frameKind(frame)) == FrameKind::kAck) {
-      stats_.ack_drops++;
+      statsFor(dst).ack_drops++;
     } else {
       MsgClass c =
           classify_ ? classify_(frameMsgType(frame)) : MsgClass::kOther;
-      stats_.of(c).drops++;
+      statsFor(dst).of(c).drops++;
     }
     if (trace_)
       trace_->instant(static_cast<uint32_t>(dst), obs::Cat::kDrop,
@@ -183,27 +206,27 @@ class Network {
     if (faults_) {
       fault = faults_->onFrame(src, dst, engine_.now());
       if (fault.drop) {
-        stats_.frames_dropped_fault++;
+        statsFor(dst).frames_dropped_fault++;
         traceFault(fault.cause, src, dst, frame);
         recordDrop(src, dst, frame);
         return;
       }
     }
-    if (config_.random_loss > 0 && rng_.chance(config_.random_loss)) {
-      stats_.frames_dropped_random++;
+    if (config_.random_loss > 0 && rngs_[dst].chance(config_.random_loss)) {
+      statsFor(dst).frames_dropped_random++;
       recordDrop(src, dst, frame);
       return;
     }
     Port& p = port(dst);
     sim::Time tx = config_.txTime(frame.size());
     if (fault.degraded) {
-      stats_.frames_degraded++;
+      statsFor(dst).frames_degraded++;
       tx = static_cast<sim::Time>(
           std::llround(static_cast<double>(tx) * fault.tx_factor));
       traceFault(FaultKind::kDegrade, src, dst, frame);
     }
     if (fault.reordered) {
-      stats_.frames_reordered++;
+      statsFor(dst).frames_reordered++;
       traceFault(FaultKind::kReorder, src, dst, frame);
     }
     // A held-back frame starts its downlink no earlier than now + delay;
@@ -217,7 +240,7 @@ class Network {
       // The switch emits a second copy that serializes right behind the
       // original and balances the books like a fresh transmission:
       // +in-flight here, -in-flight at its delivery or drop.
-      stats_.frames_duplicated++;
+      statsFor(dst).frames_duplicated++;
       traceFault(FaultKind::kDup, src, dst, frame);
       Bytes copy = frame;
       const sim::Time start2 = p.downlink_busy_until;
@@ -240,7 +263,7 @@ class Network {
   void arriveNic(NodeId src, NodeId dst, Bytes frame) {
     Port& p = port(dst);
     if (p.rx_queue_depth >= config_.rx_queue_frames) {
-      stats_.frames_dropped_overflow++;
+      statsFor(dst).frames_dropped_overflow++;
       recordDrop(src, dst, frame);
       return;
     }
@@ -256,7 +279,7 @@ class Network {
     engine_.at(done, [this, src, dst, f = std::move(frame)]() mutable {
       Port& q = port(dst);
       q.rx_queue_depth--;
-      stats_.frames_delivered++;
+      statsFor(dst).frames_delivered++;
       if (auto* m = metrics_) {
         m->add(dst, obs::Metric::kRxQueueFrames, -1, engine_.now());
         m->add(dst, obs::Metric::kRxQueueBytes,
@@ -270,13 +293,14 @@ class Network {
 
   sim::Engine& engine_;
   NetConfig config_;
-  sim::Rng rng_;
-  NetStats stats_;
+  std::vector<sim::Rng> rngs_;  // per-destination loss streams
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   Classifier classify_ = nullptr;
   FaultInjector* faults_ = nullptr;
   std::vector<Port> ports_;
+  std::vector<NetStats> shards_;  // per-node counters (see statsFor)
+  mutable NetStats total_;        // stats() fold cache
 };
 
 }  // namespace vodsm::net

@@ -162,7 +162,9 @@ class Endpoint {
     network_.send(self_, token.requester, std::move(frame), earliest);
   }
 
-  NetStats& stats() { return network_.stats(); }
+  // Transport counters land in this node's shard: every mutation here runs
+  // in this node's lane, so shards are never written concurrently.
+  NetStats& stats() { return network_.statsFor(self_); }
 
  private:
   struct Pending {

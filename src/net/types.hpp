@@ -71,6 +71,16 @@ struct NetConfig {
     double bits = static_cast<double>(wireBytes(payload)) * 8.0;
     return static_cast<sim::Time>(bits / bandwidth_bps * sim::kSecond);
   }
+
+  // Lower bound on the time between a sender scheduling a frame and that
+  // frame first touching receiver-side state: at least the empty-payload
+  // send overhead, the empty-frame serialization, and the wire latency.
+  // Both overheads grow monotonically with payload size, so this bounds
+  // every frame. Published to the engine as the conservative-parallel
+  // lookahead; a zero value (degenerate configs) disables lane parallelism.
+  sim::Time minLatency() const {
+    return sendOverhead(0) + txTime(0) + wire_latency;
+  }
 };
 
 }  // namespace vodsm::net

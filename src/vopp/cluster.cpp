@@ -23,6 +23,12 @@ void Cluster::run(const Program& program) {
   VODSM_CHECK_MSG(views_.heapBytes() > 0,
                   "no shared memory defined before run");
 
+  // One engine lane per node; the schedule (and every result) is identical
+  // for any thread count. Observers that buffer per lane register before
+  // any event is recorded from a worker.
+  engine_.configureLanes(opts_.nprocs, opts_.sim_threads);
+  if (auto* t = opts_.trace) engine_.addParallelObserver(t);
+  if (auto* m = opts_.metrics) engine_.addParallelObserver(m);
   network_ = std::make_unique<net::Network>(engine_, opts_.nprocs, opts_.net,
                                             opts_.seed);
   network_->setTrace(opts_.trace);
@@ -48,35 +54,47 @@ void Cluster::run(const Program& program) {
         std::make_unique<Node>(*this, *ctxs_.back(), *runtimes_.back()));
   }
 
-  std::vector<bool> finished(static_cast<size_t>(opts_.nprocs), false);
-  std::exception_ptr first_error;
+  // Per-node completion slots: the finish callbacks run inside each node's
+  // lane (possibly on worker threads), so each writes only its own slot and
+  // the folds below happen single-threaded after the engine drains.
+  std::vector<unsigned char> finished(static_cast<size_t>(opts_.nprocs), 0);
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(opts_.nprocs));
+  std::vector<sim::Time> done_times(static_cast<size_t>(opts_.nprocs), 0);
   for (int i = 0; i < opts_.nprocs; ++i) {
     Node& node = *nodes_[static_cast<size_t>(i)];
     if (auto* t = opts_.trace)
       t->begin(static_cast<uint32_t>(i), obs::Cat::kProgram, 0,
                static_cast<uint64_t>(i));
+    // Events scheduled while the program runs to its first suspension (and
+    // by the finish callback) belong to node i's lane.
+    sim::Engine::LaneGuard lane(engine_, static_cast<uint32_t>(i));
     sim::spawn(scope_, program(node),
-               [this, i, &finished, &first_error](std::exception_ptr e) {
-                 finished[static_cast<size_t>(i)] = true;
-                 if (e && !first_error) first_error = e;
+               [this, i, &finished, &errors,
+                &done_times](std::exception_ptr e) {
+                 finished[static_cast<size_t>(i)] = 1;
+                 if (e) errors[static_cast<size_t>(i)] = e;
                  const sim::Time done =
                      ctxs_[static_cast<size_t>(i)]->clock.now();
                  if (auto* t = opts_.trace)
                    t->end(static_cast<uint32_t>(i), obs::Cat::kProgram, done,
                           static_cast<uint64_t>(i));
-                 finish_time_ = std::max(finish_time_, done);
+                 done_times[static_cast<size_t>(i)] = done;
                });
   }
   if (auto* t = opts_.trace)
     t->begin(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now());
   if (auto* m = opts_.metrics) m->startSampling(engine_);
   const uint64_t engine_events = engine_.run();
+  for (int i = 0; i < opts_.nprocs; ++i)
+    finish_time_ = std::max(finish_time_, done_times[static_cast<size_t>(i)]);
   if (auto* t = opts_.trace)
     t->end(obs::kEngineNode, obs::Cat::kEngineRun, engine_.now(),
            engine_events);
   if (auto* m = opts_.metrics) m->closeRun(opts_.nprocs, finish_time_);
 
-  if (first_error) std::rethrow_exception(first_error);
+  for (int i = 0; i < opts_.nprocs; ++i)
+    if (errors[static_cast<size_t>(i)])
+      std::rethrow_exception(errors[static_cast<size_t>(i)]);
   for (int i = 0; i < opts_.nprocs; ++i) {
     VODSM_CHECK_MSG(finished[static_cast<size_t>(i)],
                     "deadlock: node " << i

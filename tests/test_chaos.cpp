@@ -10,7 +10,10 @@
 //    sent + duplicated, per-class drops plus ack drops equal the three
 //    drop counters, and the metrics registry agrees with NetStats;
 //  * the critical-path attribution still partitions the makespan to the
-//    nanosecond on a faulted, traced run.
+//    nanosecond on a faulted, traced run;
+//  * rerunning the cell under the conservative parallel engine
+//    (--sim-threads=4) reproduces the serial leg bit for bit — results,
+//    trace events, metrics, and the critical-path makespan partition.
 //
 // The PR gate sweeps 3 profiles x 3 seeds; the nightly chaos workflow
 // extends the sweep via VODSM_CHAOS_PROFILES=all / VODSM_CHAOS_SEEDS=N and
@@ -20,6 +23,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -164,49 +168,60 @@ TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
   const ChaosParam& param = GetParam();
   spec_ = "profile:" + param.profile;
   const net::FaultPlan plan = net::parseFaultPlan(spec_);
+
+  // One cell, parameterized by the engine schedule; checksum assertions
+  // run on every leg, so a parallel-only corruption cannot hide behind
+  // the serial reference.
+  auto runCell = [&](int sim_threads, obs::TraceRecorder& tr,
+                     obs::MetricsRegistry& mr) {
+    RunConfig c;
+    c.protocol = param.proto;
+    c.nprocs = kChaosProcs;
+    c.seed = param.seed;
+    c.sim_threads = sim_threads;
+    c.faults = &plan;
+    c.trace = &tr;
+    c.metrics = &mr;
+    c.critpath = true;
+
+    const bool traditional = param.proto == dsm::Protocol::kLrcDiff;
+    RunResult r;
+    if (param.app == "is") {
+      apps::IsParams p = chaosIs();
+      apps::IsRun run = apps::runIs(
+          c, p,
+          traditional ? apps::IsVariant::kTraditional : apps::IsVariant::kVopp);
+      EXPECT_EQ(run.rank_sums, apps::isSerialRankSums(p, c.nprocs));
+      r = run.result;
+    } else if (param.app == "gauss") {
+      apps::GaussParams p = chaosGauss();
+      apps::GaussRun run =
+          apps::runGauss(c, p,
+                         traditional ? apps::GaussVariant::kTraditional
+                                     : apps::GaussVariant::kVopp);
+      EXPECT_EQ(run.checksum, apps::gaussSerialChecksum(p));
+      r = run.result;
+    } else if (param.app == "sor") {
+      apps::SorParams p = chaosSor();
+      apps::SorRun run =
+          apps::runSor(c, p,
+                       traditional ? apps::SorVariant::kTraditional
+                                   : apps::SorVariant::kVopp);
+      EXPECT_EQ(run.checksum, apps::sorSerialChecksum(p));
+      r = run.result;
+    } else {
+      apps::NnParams p = chaosNn();
+      apps::NnRun run = apps::runNn(
+          c, p,
+          traditional ? apps::NnVariant::kTraditional : apps::NnVariant::kVopp);
+      EXPECT_EQ(run.checksum, apps::nnSerialChecksum(p, kChaosProcs));
+      r = run.result;
+    }
+    return r;
+  };
+
   obs::MetricsRegistry reg;  // aggregates only; no sampler
-
-  RunConfig c;
-  c.protocol = param.proto;
-  c.nprocs = kChaosProcs;
-  c.seed = param.seed;
-  c.faults = &plan;
-  c.trace = &trace_;
-  c.metrics = &reg;
-  c.critpath = true;
-
-  const bool traditional = param.proto == dsm::Protocol::kLrcDiff;
-  RunResult r;
-  if (param.app == "is") {
-    apps::IsParams p = chaosIs();
-    apps::IsRun run = apps::runIs(
-        c, p,
-        traditional ? apps::IsVariant::kTraditional : apps::IsVariant::kVopp);
-    EXPECT_EQ(run.rank_sums, apps::isSerialRankSums(p, c.nprocs));
-    r = run.result;
-  } else if (param.app == "gauss") {
-    apps::GaussParams p = chaosGauss();
-    apps::GaussRun run =
-        apps::runGauss(c, p,
-                       traditional ? apps::GaussVariant::kTraditional
-                                   : apps::GaussVariant::kVopp);
-    EXPECT_EQ(run.checksum, apps::gaussSerialChecksum(p));
-    r = run.result;
-  } else if (param.app == "sor") {
-    apps::SorParams p = chaosSor();
-    apps::SorRun run = apps::runSor(
-        c, p,
-        traditional ? apps::SorVariant::kTraditional : apps::SorVariant::kVopp);
-    EXPECT_EQ(run.checksum, apps::sorSerialChecksum(p));
-    r = run.result;
-  } else {
-    apps::NnParams p = chaosNn();
-    apps::NnRun run = apps::runNn(
-        c, p,
-        traditional ? apps::NnVariant::kTraditional : apps::NnVariant::kVopp);
-    EXPECT_EQ(run.checksum, apps::nnSerialChecksum(p, c.nprocs));
-    r = run.result;
-  }
+  RunResult r = runCell(/*sim_threads=*/1, trace_, reg);
 
   // The run terminated (Engine::run drained) with positive simulated time.
   EXPECT_GT(r.seconds, 0.0);
@@ -246,6 +261,52 @@ TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
   if (param.profile == "partition") {
     EXPECT_GT(s.frames_dropped_fault, 0u) << "partition window never hit";
   }
+
+  // Parallel leg: the same cell under the conservative parallel engine.
+  // Faulted runs are the adversarial case for the window schedule —
+  // retransmission timers, fault windows, and per-destination RNG shards
+  // must all land on the exact serial order.
+  obs::TraceRecorder ptrace;
+  obs::MetricsRegistry preg;
+  RunResult pr = runCell(/*sim_threads=*/4, ptrace, preg);
+  const net::NetStats& ps = pr.net;
+  EXPECT_EQ(pr.seconds, r.seconds);
+  EXPECT_EQ(ps.frames_sent, s.frames_sent);
+  EXPECT_EQ(ps.frames_delivered, s.frames_delivered);
+  EXPECT_EQ(ps.frames_dropped_overflow, s.frames_dropped_overflow);
+  EXPECT_EQ(ps.frames_dropped_random, s.frames_dropped_random);
+  EXPECT_EQ(ps.frames_dropped_fault, s.frames_dropped_fault);
+  EXPECT_EQ(ps.frames_duplicated, s.frames_duplicated);
+  EXPECT_EQ(ps.frames_reordered, s.frames_reordered);
+  EXPECT_EQ(ps.messages, s.messages);
+  EXPECT_EQ(ps.acks, s.acks);
+  EXPECT_EQ(ps.payload_bytes, s.payload_bytes);
+  EXPECT_EQ(ps.wire_bytes, s.wire_bytes);
+  EXPECT_EQ(ps.retransmissions, s.retransmissions);
+
+  // The frame books reconcile on the parallel leg too, and the metrics
+  // registry agrees with them.
+  const uint64_t pdrops = ps.frames_dropped_overflow +
+                          ps.frames_dropped_random + ps.frames_dropped_fault;
+  EXPECT_EQ(ps.frames_delivered + pdrops,
+            ps.frames_sent + ps.frames_duplicated);
+  ASSERT_TRUE(pr.metrics.enabled());
+  EXPECT_EQ(pr.metrics.totalFinal(obs::Metric::kFrameDrops),
+            static_cast<int64_t>(pdrops));
+  EXPECT_EQ(pr.metrics.totalFinal(obs::Metric::kInflightBytes), 0);
+
+  // The critical path still partitions the same makespan.
+  ASSERT_TRUE(pr.critpath.enabled());
+  EXPECT_EQ(pr.critpath.total(), pr.critpath.makespan);
+  EXPECT_EQ(pr.critpath.makespan, r.critpath.makespan);
+
+  // And the trace is the same byte stream: every event, every timestamp.
+  const auto& se = trace_.events();
+  const auto& pe = ptrace.events();
+  ASSERT_EQ(pe.size(), se.size());
+  EXPECT_TRUE(se.empty() ||
+              std::memcmp(pe.data(), se.data(),
+                          se.size() * sizeof(obs::Event)) == 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Profiles, ChaosSweep, testing::ValuesIn(sweep()),

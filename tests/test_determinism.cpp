@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "apps/gauss.hpp"
@@ -51,8 +53,10 @@ void expectResultEq(const RunResult& a, const RunResult& b,
 
 // A small but protocol-diverse cell sweep: all four apps, all three
 // protocols represented, sizes chosen so the whole suite stays in test
-// time.
-std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
+// time. `sim_threads` selects the engine schedule inside every cell
+// (1 = serial reference); results must not depend on it.
+std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells(
+    int sim_threads = 1) {
   std::vector<std::pair<std::string, std::function<RunResult()>>> cells;
 
   apps::IsParams is;
@@ -68,6 +72,7 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = proto;
     c.nprocs = 4;
+    c.sim_threads = sim_threads;
     cells.emplace_back(name,
                        [=] { return apps::runIs(c, is, variant).result; });
   }
@@ -78,6 +83,7 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = dsm::Protocol::kVcSd;
     c.nprocs = 4;
+    c.sim_threads = sim_threads;
     cells.emplace_back("Gauss/VC_sd", [=] {
       return apps::runGauss(c, gauss, apps::GaussVariant::kVopp).result;
     });
@@ -91,6 +97,7 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = dsm::Protocol::kLrcDiff;
     c.nprocs = 4;
+    c.sim_threads = sim_threads;
     cells.emplace_back("SOR/LRC_d", [=] {
       return apps::runSor(c, sor, apps::SorVariant::kTraditional).result;
     });
@@ -103,6 +110,7 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = dsm::Protocol::kVcSd;
     c.nprocs = 4;
+    c.sim_threads = sim_threads;
     cells.emplace_back("NN/MPI", [=] {
       return apps::runNn(c, nn, apps::NnVariant::kMpi).result;
     });
@@ -114,6 +122,7 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     RunConfig c;
     c.protocol = dsm::Protocol::kVcSd;
     c.nprocs = 4;
+    c.sim_threads = sim_threads;
     c.net.random_loss = 0.02;
     c.net.rto = sim::msec(20);
     cells.emplace_back("IS/VC_sd/lossy", [=] {
@@ -121,7 +130,41 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells() {
     });
   }
 
+  // Fault-injected cells: the injector's per-destination RNG shards and
+  // budgets must behave identically under every engine schedule.
+  for (const char* profile : {"profile:mixed", "profile:partition"}) {
+    static std::map<std::string, net::FaultPlan> plans;
+    auto [it, inserted] = plans.try_emplace(profile);
+    if (inserted) it->second = net::parseFaultPlan(profile);
+    RunConfig c;
+    c.protocol = dsm::Protocol::kVcSd;
+    c.nprocs = 4;
+    c.sim_threads = sim_threads;
+    c.faults = &it->second;
+    cells.emplace_back(std::string("IS/VC_sd/") + profile, [=] {
+      return apps::runIs(c, is, apps::IsVariant::kVopp).result;
+    });
+  }
+
   return cells;
+}
+
+// The tentpole guarantee of the conservative parallel engine: the same
+// cell produces a bit-identical RunResult for every --sim-threads value,
+// across all apps, protocols, and fault profiles in the sweep.
+TEST(Determinism, SimThreadSweepIsBitIdentical) {
+  auto base = makeCells(/*sim_threads=*/1);
+  std::vector<RunResult> ref;
+  ref.reserve(base.size());
+  for (auto& [name, run] : base) ref.push_back(run());
+  for (int threads : {2, 4, 8}) {
+    auto cells = makeCells(threads);
+    ASSERT_EQ(cells.size(), ref.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+      expectResultEq(ref[i], cells[i].second(),
+                     cells[i].first + " (sim_threads=" +
+                         std::to_string(threads) + ")");
+  }
 }
 
 TEST(Determinism, RepeatedRunsAreBitIdentical) {

@@ -1,7 +1,13 @@
 // Unit tests for the sim substrate: engine, rng, tasks, waiters, clock.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
+#include <functional>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
@@ -59,6 +65,88 @@ TEST(Engine, RunBoundedReportsDrainState) {
   for (int i = 0; i < 10; ++i) e.at(i, [] {});
   EXPECT_FALSE(e.runBounded(5));
   EXPECT_TRUE(e.runBounded(100));
+}
+
+// A stopped run abandons its queue: runBounded must never report it as
+// drained, even when every scheduled event happened to execute first.
+TEST(Engine, RunBoundedAfterStopReportsNotDrained) {
+  Engine e;
+  e.at(1, [&] { e.stop(); });
+  e.at(2, [] {});
+  EXPECT_FALSE(e.runBounded(100));
+  EXPECT_TRUE(e.stopped());
+  EXPECT_EQ(e.pending(), 1u);
+
+  Engine e2;
+  e2.at(1, [&] { e2.stop(); });  // stop on the very last event
+  EXPECT_FALSE(e2.runBounded(100));
+  EXPECT_EQ(e2.pending(), 0u);
+}
+
+// Aux (observer-only) events interleave at their times but never keep the
+// engine alive; run() counts real events only.
+TEST(Engine, AuxEventsDoNotKeepEngineAlive) {
+  Engine e;
+  int aux_fired = 0;
+  int real_fired = 0;
+  std::function<void()> tick = [&] {
+    ++aux_fired;
+    e.auxAfter(5, [&tick] { tick(); });
+  };
+  e.auxAt(0, [&tick] { tick(); });
+  e.at(12, [&] { ++real_fired; });
+  const uint64_t n = e.run();
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(real_fired, 1);
+  EXPECT_EQ(aux_fired, 3);  // t = 0, 5, 10; the trailing tick is discarded
+  EXPECT_EQ(e.now(), 12);
+}
+
+TEST(Engine, ResolveSimThreads) {
+  const char* old = std::getenv("VODSM_SIM_THREADS");
+  const std::string saved = old ? old : "";
+  EXPECT_EQ(resolveSimThreads(3), 3);
+  EXPECT_EQ(resolveSimThreads(-1), 1);
+  ::setenv("VODSM_SIM_THREADS", "5", 1);
+  EXPECT_EQ(resolveSimThreads(0), 5);
+  ::unsetenv("VODSM_SIM_THREADS");
+  EXPECT_EQ(resolveSimThreads(0), 1);
+  if (old) ::setenv("VODSM_SIM_THREADS", saved.c_str(), 1);
+}
+
+// Cross-lane ping-pong chains: the per-lane execution records (times and
+// chain positions) must be identical for every worker count, and the
+// parallel schedules must actually run (lookahead published, >1 lane).
+TEST(Engine, LaneScheduleIsThreadCountInvariant) {
+  constexpr uint32_t kLanes = 4;
+  using LaneLog = std::vector<std::pair<Time, int>>;
+  auto runIt = [](int threads, std::array<LaneLog, kLanes>& logs) {
+    Engine e;
+    e.configureLanes(kLanes, threads);
+    e.setLookahead(10);
+    std::function<void(uint32_t, int)> hop = [&](uint32_t lane, int k) {
+      logs[lane].emplace_back(e.now(), k);
+      if (k < 50) {
+        const uint32_t nxt = (lane + 1) % kLanes;
+        e.atLane(nxt, e.now() + 10, [&hop, nxt, k] { hop(nxt, k + 1); });
+      }
+    };
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      Engine::LaneGuard g(e, l);
+      e.at(l + 1, [&hop, l] { hop(l, 0); });
+    }
+    const uint64_t n = e.run();
+    EXPECT_EQ(n, kLanes * 51u);
+    EXPECT_EQ(e.pending(), 0u);
+  };
+  std::array<LaneLog, kLanes> serial;
+  runIt(1, serial);
+  for (int threads : {2, 4}) {
+    std::array<LaneLog, kLanes> par;
+    runIt(threads, par);
+    for (uint32_t l = 0; l < kLanes; ++l)
+      EXPECT_EQ(serial[l], par[l]) << "lane " << l << ", threads " << threads;
+  }
 }
 
 TEST(Engine, SchedulingInPastIsRejectedInDebug) {
