@@ -11,7 +11,8 @@
 //     speedup_vs_serial) get a ratio tolerance with an absolute floor —
 //     sub-floor timings are noise and always pass — and may be present in
 //     only one of the two files, and
-//   * "jobs" (host thread count) is ignored outright.
+//   * host run-shape/provenance keys ("jobs", "sim_threads", the "host"
+//     metadata object) are ignored outright.
 //
 //   bench_diff BASELINE.json CURRENT.json
 //   bench_diff --host-tolerance=25 --host-floor-seconds=5 a.json b.json
@@ -20,152 +21,21 @@
 // its JSON path). Exit 2: usage or I/O error. CI runs this against the
 // committed BENCH_tables.json, so any change to the simulation's output
 // must be accompanied by a regenerated baseline in the same commit.
-#include <cmath>
-#include <cstdio>
+//
+// The comparison core lives in bench/diff_compare.hpp so the unit tests
+// exercise the same code path as this gate.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "bench/diff_compare.hpp"
 #include "support/json.hpp"
 
 namespace {
 
 using vodsm::support::Json;
-
-struct Config {
-  // A host timing passes when the larger value is within `host_tolerance`
-  // times the smaller, or both are under the floor. Generous by default:
-  // the gate is for simulated drift, not for benchmarking the host.
-  double host_tolerance = 25.0;
-  double host_floor_seconds = 5.0;
-};
-
-struct Report {
-  int mismatches = 0;
-  int host_checked = 0;
-  static constexpr int kMaxPrinted = 50;
-
-  void fail(const std::string& path, const std::string& why) {
-    if (mismatches < kMaxPrinted)
-      std::cout << "  " << path << ": " << why << "\n";
-    else if (mismatches == kMaxPrinted)
-      std::cout << "  ... further mismatches suppressed\n";
-    ++mismatches;
-  }
-};
-
-bool isHostTimingKey(const std::string& key) {
-  return key == "host_seconds" || key == "wall_seconds" ||
-         key == "serial_wall_seconds" || key == "speedup_vs_serial" ||
-         key == "self_speedup_vs_serial";
-}
-
-// Host run-shape knobs: thread counts never change simulated output.
-bool isIgnoredKey(const std::string& key) {
-  return key == "jobs" || key == "sim_threads";
-}
-
-std::string describe(const Json& v) {
-  switch (v.type()) {
-    case Json::Type::kNull: return "null";
-    case Json::Type::kBool: return v.asBool() ? "true" : "false";
-    case Json::Type::kString: return "\"" + v.asString() + "\"";
-    case Json::Type::kNumber: {
-      std::ostringstream os;
-      os << v.asNumber();
-      return os.str();
-    }
-    case Json::Type::kArray:
-      return "array[" + std::to_string(v.items().size()) + "]";
-    case Json::Type::kObject:
-      return "object{" + std::to_string(v.members().size()) + "}";
-  }
-  return "?";
-}
-
-void checkHostTiming(const Json& base, const Json& cur,
-                     const std::string& path, const Config& cfg, Report& rep) {
-  if (base.type() != Json::Type::kNumber ||
-      cur.type() != Json::Type::kNumber) {
-    rep.fail(path, "host-timing field is not a number");
-    return;
-  }
-  ++rep.host_checked;
-  const double a = base.asNumber();
-  const double b = cur.asNumber();
-  if (a <= cfg.host_floor_seconds && b <= cfg.host_floor_seconds) return;
-  const double lo = std::min(a, b);
-  const double hi = std::max(a, b);
-  if (lo > 0 && hi / lo <= cfg.host_tolerance) return;
-  char buf[128];
-  std::snprintf(buf, sizeof(buf),
-                "host timing drifted beyond %.0fx: baseline %g vs current %g",
-                cfg.host_tolerance, a, b);
-  rep.fail(path, buf);
-}
-
-void compare(const Json& base, const Json& cur, const std::string& path,
-             const Config& cfg, Report& rep) {
-  if (base.type() != cur.type()) {
-    rep.fail(path, describe(base) + " became " + describe(cur));
-    return;
-  }
-  switch (base.type()) {
-    case Json::Type::kNull:
-      return;
-    case Json::Type::kBool:
-      if (base.asBool() != cur.asBool())
-        rep.fail(path, describe(base) + " became " + describe(cur));
-      return;
-    case Json::Type::kString:
-      if (base.asString() != cur.asString())
-        rep.fail(path, describe(base) + " became " + describe(cur));
-      return;
-    case Json::Type::kNumber:
-      // Exact. Both files come from the same fixed-precision writer, so a
-      // deterministic simulation reproduces the byte-identical text and
-      // therefore the identical double.
-      if (base.asNumber() != cur.asNumber())
-        rep.fail(path, describe(base) + " became " + describe(cur));
-      return;
-    case Json::Type::kArray: {
-      const auto& a = base.items();
-      const auto& b = cur.items();
-      if (a.size() != b.size()) {
-        rep.fail(path, "array length " + std::to_string(a.size()) +
-                           " became " + std::to_string(b.size()));
-        return;
-      }
-      for (size_t i = 0; i < a.size(); ++i)
-        compare(a[i], b[i], path + "[" + std::to_string(i) + "]", cfg, rep);
-      return;
-    }
-    case Json::Type::kObject: {
-      for (const auto& [key, bval] : base.members()) {
-        if (isIgnoredKey(key)) continue;
-        const std::string sub = path + "." + key;
-        const Json* cval = cur.find(key);
-        if (!cval) {
-          // Host timings are run-shape dependent (e.g. serial_wall_seconds
-          // only exists under --compare-serial); absence is not drift.
-          if (!isHostTimingKey(key)) rep.fail(sub, "key disappeared");
-          continue;
-        }
-        if (isHostTimingKey(key))
-          checkHostTiming(bval, *cval, sub, cfg, rep);
-        else
-          compare(bval, *cval, sub, cfg, rep);
-      }
-      for (const auto& [key, cval] : cur.members()) {
-        (void)cval;
-        if (isIgnoredKey(key) || isHostTimingKey(key)) continue;
-        if (!base.find(key)) rep.fail(path + "." + key, "key appeared");
-      }
-      return;
-    }
-  }
-}
 
 Json loadFile(const std::string& name) {
   std::ifstream f(name, std::ios::binary);
@@ -184,7 +54,8 @@ Json loadFile(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Config cfg;
+  using namespace vodsm::bench;
+  diff::Config cfg;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -202,8 +73,8 @@ int main(int argc, char** argv) {
   try {
     Json base = loadFile(files[0]);
     Json cur = loadFile(files[1]);
-    Report rep;
-    compare(base, cur, "$", cfg, rep);
+    diff::Report rep;
+    diff::compare(base, cur, "$", cfg, rep);
     if (rep.mismatches > 0) {
       std::cout << "bench_diff: " << rep.mismatches
                 << " simulated field(s) drifted between " << files[0]

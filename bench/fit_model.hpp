@@ -1,0 +1,108 @@
+// Least-squares fitter for the parallel-cost model used by fit_scaling:
+//
+//     T(p) = c * p^a * log2(p)^b
+//
+// fitted in log space (ln T = ln c + a ln p + b ln log2 p) through the
+// normal equations with partial pivoting. Header-only so the unit tests
+// (tests/test_bench_tools.cpp) exercise exactly the solver the CLI uses.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace vodsm::bench::fit {
+
+struct Fit {
+  double c = 0;
+  double a = 0;
+  double b = 0;
+  double r2 = 0;
+  int points = 0;
+  bool ok = false;
+
+  double eval(double p) const {
+    return c * std::pow(p, a) * std::pow(std::log2(p), b);
+  }
+};
+
+// Solves the 3x3 (or 2x2 when the log-log term is dropped) normal
+// equations by Gaussian elimination with partial pivoting. `m` is the
+// augmented matrix (n rows of n + 1). Returns false on a singular system.
+inline bool solveNormal(std::vector<std::vector<double>> m,
+                        std::vector<double>& x) {
+  const size_t n = m.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::fabs(m[r][col]) > std::fabs(m[piv][col])) piv = r;
+    if (std::fabs(m[piv][col]) < 1e-12) return false;
+    std::swap(m[col], m[piv]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (size_t k = col; k <= n; ++k) m[r][k] -= f * m[col][k];
+    }
+  }
+  x.resize(n);
+  for (size_t i = 0; i < n; ++i) x[i] = m[i][n] / m[i][i];
+  return true;
+}
+
+// Fits (p, T) samples; needs at least two points. The log2 exponent b is
+// identified only with three or more points and a nonsingular system;
+// otherwise the fit falls back to T = c * p^a (b = 0). Samples with p < 2
+// or T <= 0 are the caller's responsibility to exclude (ln of them is
+// undefined).
+inline Fit fitSeries(const std::vector<std::pair<int, double>>& pts) {
+  Fit fit;
+  fit.points = static_cast<int>(pts.size());
+  if (pts.size() < 2) return fit;
+
+  // Design matrix rows: [1, ln p, ln log2 p] -> ln T.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (const auto& [p, t] : pts) {
+    rows.push_back({1.0, std::log(static_cast<double>(p)),
+                    std::log(std::log2(static_cast<double>(p)))});
+    ys.push_back(std::log(t));
+  }
+
+  auto normal = [&](size_t dims) {
+    std::vector<std::vector<double>> m(dims,
+                                       std::vector<double>(dims + 1, 0));
+    for (size_t i = 0; i < rows.size(); ++i)
+      for (size_t r = 0; r < dims; ++r) {
+        for (size_t c = 0; c < dims; ++c) m[r][c] += rows[i][r] * rows[i][c];
+        m[r][dims] += rows[i][r] * ys[i];
+      }
+    return m;
+  };
+
+  std::vector<double> coef;
+  bool with_b = pts.size() >= 3 && solveNormal(normal(3), coef);
+  if (!with_b) {
+    // Fall back to T = c * p^a; the log-log term is collinear or there are
+    // too few points to identify it.
+    if (!solveNormal(normal(2), coef)) return fit;
+    coef.push_back(0.0);
+  }
+  fit.c = std::exp(coef[0]);
+  fit.a = coef[1];
+  fit.b = coef[2];
+  fit.ok = true;
+
+  double mean = 0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ssr = 0, sst = 0;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    const double pred = coef[0] + coef[1] * rows[i][1] + coef[2] * rows[i][2];
+    ssr += (ys[i] - pred) * (ys[i] - pred);
+    sst += (ys[i] - mean) * (ys[i] - mean);
+  }
+  fit.r2 = sst > 0 ? 1.0 - ssr / sst : 1.0;
+  return fit;
+}
+
+}  // namespace vodsm::bench::fit

@@ -9,7 +9,8 @@
 //
 // by least squares in log space (ln T = ln c + a ln p + b ln log2 p, 3x3
 // normal equations with partial pivoting; b is dropped when the system is
-// singular, e.g. with fewer than three sample points). The exponents make
+// singular, e.g. with fewer than three sample points — the solver lives in
+// bench/fit_model.hpp, shared with the unit tests). The exponents make
 // the asymptotics legible at a glance: a ≈ -1 is perfect strong scaling,
 // a ≈ 0 a serial bottleneck, b > 0 a tree/combining term like the barrier
 // fan-in.
@@ -33,12 +34,15 @@
 #include <string>
 #include <vector>
 
+#include "bench/fit_model.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using vodsm::TextTable;
+using vodsm::bench::fit::Fit;
+using vodsm::bench::fit::fitSeries;
 using vodsm::support::Json;
 
 struct Sample {
@@ -54,92 +58,6 @@ struct Series {
   std::string impl;
   std::vector<Sample> samples;  // sorted by procs
 };
-
-struct Fit {
-  double c = 0;
-  double a = 0;
-  double b = 0;
-  double r2 = 0;
-  int points = 0;
-  bool ok = false;
-
-  double eval(double p) const {
-    return c * std::pow(p, a) * std::pow(std::log2(p), b);
-  }
-};
-
-// Solves the 3x3 (or 2x2 when `use_b` is false) normal equations for
-// ln T = ln c + a ln x1 + b ln x2 by Gaussian elimination with partial
-// pivoting. Returns false on a singular system.
-bool solveNormal(std::vector<std::vector<double>> m, std::vector<double>& x) {
-  const size_t n = m.size();
-  for (size_t col = 0; col < n; ++col) {
-    size_t piv = col;
-    for (size_t r = col + 1; r < n; ++r)
-      if (std::fabs(m[r][col]) > std::fabs(m[piv][col])) piv = r;
-    if (std::fabs(m[piv][col]) < 1e-12) return false;
-    std::swap(m[col], m[piv]);
-    for (size_t r = 0; r < n; ++r) {
-      if (r == col) continue;
-      const double f = m[r][col] / m[col][col];
-      for (size_t k = col; k <= n; ++k) m[r][k] -= f * m[col][k];
-    }
-  }
-  x.resize(n);
-  for (size_t i = 0; i < n; ++i) x[i] = m[i][n] / m[i][i];
-  return true;
-}
-
-Fit fitSeries(const std::vector<std::pair<int, double>>& pts) {
-  Fit fit;
-  fit.points = static_cast<int>(pts.size());
-  if (pts.size() < 2) return fit;
-
-  // Design matrix rows: [1, ln p, ln log2 p] -> ln T.
-  std::vector<std::vector<double>> rows;
-  std::vector<double> ys;
-  for (const auto& [p, t] : pts) {
-    rows.push_back({1.0, std::log(static_cast<double>(p)),
-                    std::log(std::log2(static_cast<double>(p)))});
-    ys.push_back(std::log(t));
-  }
-
-  auto normal = [&](size_t dims) {
-    std::vector<std::vector<double>> m(dims, std::vector<double>(dims + 1, 0));
-    for (size_t i = 0; i < rows.size(); ++i)
-      for (size_t r = 0; r < dims; ++r) {
-        for (size_t c = 0; c < dims; ++c) m[r][c] += rows[i][r] * rows[i][c];
-        m[r][dims] += rows[i][r] * ys[i];
-      }
-    return m;
-  };
-
-  std::vector<double> coef;
-  bool with_b = pts.size() >= 3 && solveNormal(normal(3), coef);
-  if (!with_b) {
-    // Fall back to T = c * p^a; the log-log term is collinear or there are
-    // too few points to identify it.
-    if (!solveNormal(normal(2), coef)) return fit;
-    coef.push_back(0.0);
-  }
-  fit.c = std::exp(coef[0]);
-  fit.a = coef[1];
-  fit.b = coef[2];
-  fit.ok = true;
-
-  double mean = 0;
-  for (double y : ys) mean += y;
-  mean /= static_cast<double>(ys.size());
-  double ssr = 0, sst = 0;
-  for (size_t i = 0; i < ys.size(); ++i) {
-    const double pred =
-        coef[0] + coef[1] * rows[i][1] + coef[2] * rows[i][2];
-    ssr += (ys[i] - pred) * (ys[i] - pred);
-    sst += (ys[i] - mean) * (ys[i] - mean);
-  }
-  fit.r2 = sst > 0 ? 1.0 - ssr / sst : 1.0;
-  return fit;
-}
 
 // "IS/VC_sd/16p" -> app, impl, procs. Returns false for malformed ids.
 bool splitCellId(const std::string& id, std::string& app, std::string& impl,

@@ -46,6 +46,11 @@ struct Options {
   // mean_link_utilization per cell in the JSON. Metering never charges
   // simulated time, so all sim results are unchanged.
   bool metrics = false;
+  // Trace every cell and print its ranked "why is this run slow" diagnosis
+  // (obs::Diagnoser over the cell's trace + metrics). Pure post-processing
+  // like the other analyses: sim results are unchanged, and the report is
+  // byte-identical across --jobs / --sim-threads.
+  bool diagnose = false;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
   // Fault-plan spec applied to every cell (net::parseFaultPlan grammar).
@@ -75,6 +80,7 @@ inline Options parseArgs(int argc, char** argv) {
     else if (a == "--critpath") o.critpath = true;
     else if (a == "--pageheat") o.pageheat = true;
     else if (a == "--metrics") o.metrics = true;
+    else if (a == "--diagnose") o.diagnose = true;
     else if (a == "--compare-serial") o.compare_serial = true;
     else if (a.rfind("--procs=", 0) == 0) o.procs = parseIntArg(a, 8);
     else if (a.rfind("--jobs=", 0) == 0) o.jobs = parseIntArg(a, 7);
@@ -86,7 +92,8 @@ inline Options parseArgs(int argc, char** argv) {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--sim-threads=N]"
                    " [--json=PATH] [--breakdown] [--critpath] [--pageheat]"
-                   " [--metrics] [--compare-serial] [--faults=SPEC]\n";
+                   " [--metrics] [--diagnose] [--compare-serial]"
+                   " [--faults=SPEC]\n";
       std::exit(2);
     }
   }

@@ -4,11 +4,13 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "bench/paper_params.hpp"
 #include "harness/parallel_runner.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/diagnose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
@@ -29,6 +31,16 @@ using harness::RunResult;
 // Processor counts of the speedup tables (paper Tables 3, 5, 7, 9).
 const std::vector<int> kSpeedupProcs = {2, 4, 8, 16, 24, 32};
 
+// Compiler identification for the JSON "host" record. Host-dependent like
+// the rest of that object, so bench_diff never compares it.
+#if defined(__clang_version__)
+constexpr const char* kCompilerId = "clang " __clang_version__;
+#elif defined(__VERSION__)
+constexpr const char* kCompilerId = "gcc " __VERSION__;
+#else
+constexpr const char* kCompilerId = "unknown";
+#endif
+
 std::string cellId(const std::string& app, const std::string& impl,
                    int procs) {
   return app + "/" + impl + "/" + std::to_string(procs) + "p";
@@ -45,14 +57,22 @@ struct CellFlags {
   bool critpath = false;
   bool pageheat = false;
   bool metrics = false;
+  // Diagnosis implies tracing (and benefits from metrics; the caller turns
+  // both on in flagsOf) — the Diagnoser is a pure trace/metrics consumer.
+  bool diagnose = false;
   net::FaultPlan faults;
   // Engine workers per cell (resolved through VODSM_SIM_THREADS when 0).
   int sim_threads = 1;
 };
 
 CellFlags flagsOf(const Options& o) {
-  CellFlags f{o.breakdown || o.critpath || o.pageheat, o.critpath, o.pageheat,
-              o.metrics, {}, sim::resolveSimThreads(o.sim_threads)};
+  CellFlags f{o.breakdown || o.critpath || o.pageheat || o.diagnose,
+              o.critpath,
+              o.pageheat,
+              o.metrics || o.diagnose,
+              o.diagnose,
+              {},
+              sim::resolveSimThreads(o.sim_threads)};
   if (!o.faults.empty()) {
     try {
       f.faults = net::parseFaultPlan(o.faults);
@@ -86,6 +106,7 @@ RunResult runCell(const CellFlags& flags, harness::RunConfig base,
     if (flags.metrics) cfg.metrics = &mets;
     cfg.critpath = flags.critpath;
     cfg.pageheat = flags.pageheat;
+    cfg.diagnose = flags.diagnose;
     if (!flags.faults.empty()) cfg.faults = &flags.faults;
     cfg.sim_threads = threads;
     const auto t0 = Clock::now();
@@ -418,6 +439,14 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
   os << std::setprecision(6) << std::fixed;
   os << "{\n";
   os << "  \"suite\": \"paper_tables\",\n";
+  // Host provenance: which machine/configuration produced this artifact.
+  // Every key here is host-dependent, so bench_diff ignores the whole
+  // object (like "jobs"); the simulated fields it compares stay
+  // byte-identical regardless of where the suite ran.
+  os << "  \"host\": {\"cores\": " << std::thread::hardware_concurrency()
+     << ", \"jobs\": " << jobs
+     << ", \"sim_threads\": " << sim::resolveSimThreads(o.sim_threads)
+     << ", \"compiler\": \"" << kCompilerId << "\"},\n";
   os << "  \"full\": " << (o.full ? "true" : "false") << ",\n";
   os << "  \"breakdown\": " << (o.breakdown ? "true" : "false") << ",\n";
   if (!o.faults.empty()) {
@@ -524,6 +553,12 @@ int tableMain(const TableSpec& spec, const Options& o) {
       if (run.results[i].pageheat.enabled())
         obs::printPageHeat(std::cout, run.results[i].pageheat,
                            "Page contention: " + spec.cells[i].id);
+  }
+  if (o.diagnose) {
+    for (size_t i = 0; i < spec.cells.size(); ++i)
+      if (run.results[i].diagnosis.enabled())
+        obs::printDiagnosis(std::cout, run.results[i].diagnosis,
+                            "Diagnosis: " + spec.cells[i].id);
   }
   if (!o.json.empty()) {
     std::ofstream f(o.json);

@@ -49,6 +49,8 @@ namespace {
       "  --critpath      print the run's critical-path attribution\n"
       "  --pageheat      print per-page contention table\n"
       "  --pageheat-csv=FILE  write the full per-page table as CSV\n"
+      "  --diagnose[=FILE]  print the ranked why-is-this-run-slow report;\n"
+      "                  with =FILE also write it as JSON\n"
       "  --memstats      print peak/mean counter-gauge summary (twin/diff\n"
       "                  bytes, queue depths, link utilization)\n"
       "  --faults=SPEC   inject deterministic faults; SPEC is\n"
@@ -137,9 +139,9 @@ int main(int argc, char** argv) {
       "seed",         "sim-threads",              "trace",
       "breakdown",    "netstats",  "critpath",     "pageheat",
       "pageheat-csv", "memstats",  "metrics-csv",  "metrics-interval",
-      "faults",       "keys",      "buckets",      "iters",
-      "n",            "rows",      "cols",         "samples",
-      "epochs",       "hidden"};
+      "faults",       "diagnose",  "keys",         "buckets",
+      "iters",        "n",         "rows",         "cols",
+      "samples",      "epochs",    "hidden"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -172,17 +174,26 @@ int main(int argc, char** argv) {
   const std::string pageheat_csv = args.get("pageheat-csv", "");
   const bool want_memstats = args.kv.count("memstats") > 0;
   const std::string metrics_csv = args.get("metrics-csv", "");
+  // --diagnose prints the ranked report; --diagnose=FILE also writes the
+  // machine-readable JSON. Diagnosis consumes the trace and the metrics
+  // summary, so it turns both on.
+  const bool want_diagnose = args.kv.count("diagnose") > 0;
+  const std::string diagnose_value = args.get("diagnose", "");
+  const std::string diagnose_json =
+      diagnose_value == "1" ? "" : diagnose_value;
   obs::TraceRecorder recorder;
   if (!trace_path.empty() || want_breakdown || want_critpath || want_pageheat ||
-      !pageheat_csv.empty())
+      !pageheat_csv.empty() || want_diagnose)
     cfg.trace = &recorder;
   cfg.critpath = want_critpath;
   cfg.pageheat = want_pageheat || !pageheat_csv.empty();
+  cfg.diagnose = want_diagnose;
   // Metrics piggyback on any trace export (counter tracks) and are also
   // available standalone via --memstats / --metrics-csv.
   obs::MetricsRegistry registry{
       sim::usec(static_cast<int64_t>(args.num("metrics-interval", 1000)))};
-  if (want_memstats || !metrics_csv.empty() || !trace_path.empty())
+  if (want_memstats || !metrics_csv.empty() || !trace_path.empty() ||
+      want_diagnose)
     cfg.metrics = &registry;
   net::FaultPlan fault_plan;
   const std::string fault_spec = args.get("faults", "");
@@ -262,6 +273,20 @@ int main(int argc, char** argv) {
     obs::printCriticalPath(std::cout, result.critpath, "Critical path");
   if (want_pageheat)
     obs::printPageHeat(std::cout, result.pageheat, "Page contention");
+  if (want_diagnose) {
+    obs::printDiagnosis(std::cout, result.diagnosis, "Diagnosis: " + title);
+    if (!diagnose_json.empty()) {
+      std::ofstream os(diagnose_json, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     diagnose_json.c_str());
+        return 1;
+      }
+      obs::writeDiagnosisJson(os, result.diagnosis);
+      std::printf("diagnosis: %zu findings -> %s\n",
+                  result.diagnosis.findings.size(), diagnose_json.c_str());
+    }
+  }
   if (want_memstats) {
     if (result.metrics.enabled())
       obs::printMemstats(std::cout, result.metrics, "Memory/utilization stats");

@@ -10,6 +10,7 @@
 #include "net/types.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/diagnose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +37,11 @@ struct RunConfig {
   // post-processing: they never change what the run computes.
   bool critpath = false;
   bool pageheat = false;
+  // Runs the diagnosis pass catalog over the trace (requires `trace`;
+  // consumes the metrics summary too when metered). Post-processing like
+  // the other analyses: a diagnosed run is bit-identical to an undiagnosed
+  // one, and the report itself is deterministic across --jobs/--sim-threads.
+  bool diagnose = false;
   // Caller-owned fault plan (net::FaultPlan); null or empty disables
   // injection and keeps the run byte-identical to a plan-free build.
   const net::FaultPlan* faults = nullptr;
@@ -53,6 +59,9 @@ struct RunResult {
   // via RunConfig::critpath / pageheat on a traced run.
   obs::CriticalPath critpath;
   obs::PageHeat pageheat;
+  // Ranked findings from the diagnosis passes; empty unless requested via
+  // RunConfig::diagnose on a traced run.
+  obs::Diagnosis diagnosis;
   // Counter/gauge aggregates (peaks, finals, means); empty unless the run
   // was metered via RunConfig::metrics. The MPI reference runner does not
   // meter, so its results leave this empty.
@@ -88,6 +97,7 @@ void collectResult(const ClusterT& cluster, const RunConfig& cfg,
     out.breakdown = cluster.breakdown();
     if (cfg.critpath) out.critpath = cluster.criticalPath();
     if (cfg.pageheat) out.pageheat = cluster.pageHeat();
+    if (cfg.diagnose) out.diagnosis = cluster.diagnosis();
   }
   if (cfg.metrics) out.metrics = cluster.metricsSummary();
 }

@@ -102,6 +102,35 @@ void Cluster::run(const Program& program) {
   }
 }
 
+obs::Diagnosis Cluster::diagnosis() const {
+  if (!opts_.trace) return {};
+  // obs sits below net/dsm, so the diagnosis passes take the wire knowledge
+  // they need as hooks wired here: the dsm message classifier (WireClass
+  // mirrors net::MsgClass value-for-value, checked below) and the run's
+  // undegraded frame serialization cost.
+  static_assert(static_cast<int>(obs::WireClass::kAcquire) ==
+                    static_cast<int>(net::MsgClass::kAcquire) &&
+                static_cast<int>(obs::WireClass::kDiffRequest) ==
+                    static_cast<int>(net::MsgClass::kDiffRequest) &&
+                static_cast<int>(obs::WireClass::kDiffReply) ==
+                    static_cast<int>(net::MsgClass::kDiffReply) &&
+                static_cast<int>(obs::WireClass::kOther) ==
+                    static_cast<int>(net::MsgClass::kOther),
+                "WireClass must mirror net::MsgClass");
+  const obs::MetricsSummary metrics = metricsSummary();
+  const net::NetConfig cfg = opts_.net;
+  return obs::diagnose(
+      *opts_.trace, opts_.nprocs, finish_time_,
+      metrics.enabled() ? &metrics : nullptr,
+      [](uint64_t type) {
+        return static_cast<obs::WireClass>(
+            dsm::classifyMsg(static_cast<uint16_t>(type)));
+      },
+      [cfg](uint64_t bytes) {
+        return cfg.txTime(static_cast<size_t>(bytes));
+      });
+}
+
 dsm::DsmStats Cluster::dsmStats() const {
   dsm::DsmStats total;
   for (const auto& ctx : ctxs_) total.add(ctx->stats);

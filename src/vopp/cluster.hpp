@@ -28,6 +28,7 @@
 #include "net/network.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/diagnose.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -290,6 +291,11 @@ class Cluster {
     if (!opts_.metrics) return {};
     return opts_.metrics->summary();
   }
+  // Runs the diagnosis pass catalog over the recorded trace (and metrics
+  // summary when metered). Empty when untraced. Defined in cluster.cpp,
+  // where the dsm message classifier and the run's NetConfig are in scope —
+  // obs itself stays below those layers.
+  obs::Diagnosis diagnosis() const;
   // Inspect a node's final memory (for result validation).
   ByteSpan memoryOf(int node, size_t offset, size_t len) const {
     return ctxs_.at(static_cast<size_t>(node))->store.rangeView(offset, len);

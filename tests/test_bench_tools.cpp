@@ -1,0 +1,179 @@
+// Unit tests for the bench-layer analysis tools:
+//
+//  * bench/fit_model.hpp — the least-squares fitter behind fit_scaling must
+//    recover a known T(p) = c * p^a * log2(p)^b exactly from synthetic
+//    samples, fall back to b = 0 with two points or a singular system, and
+//    report failure (ok = false) when even the fallback is singular.
+//  * bench/diff_compare.hpp — the bench_diff regression gate must compare
+//    simulated fields exactly while stripping the host-shape keys ("jobs",
+//    "sim_threads", and the "host" metadata object), so a baseline written
+//    before the host record existed still gates a current file that has it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/diff_compare.hpp"
+#include "bench/fit_model.hpp"
+#include "support/json.hpp"
+
+namespace vodsm {
+namespace {
+
+using support::Json;
+
+// --- fit_model ----------------------------------------------------------
+
+std::vector<std::pair<int, double>> sampleModel(double c, double a, double b,
+                                                const std::vector<int>& ps) {
+  std::vector<std::pair<int, double>> pts;
+  for (int p : ps)
+    pts.emplace_back(p, c * std::pow(p, a) * std::pow(std::log2(p), b));
+  return pts;
+}
+
+TEST(FitModel, RecoversSyntheticModelExactly) {
+  // The paper-table sweep's processor counts; the model is noise-free, so
+  // the normal equations must reproduce it to numerical precision.
+  const double c = 0.5, a = -0.8, b = 1.2;
+  bench::fit::Fit fit =
+      bench::fit::fitSeries(sampleModel(c, a, b, {2, 4, 8, 16, 32}));
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.points, 5);
+  EXPECT_NEAR(fit.c, c, 1e-9);
+  EXPECT_NEAR(fit.a, a, 1e-9);
+  EXPECT_NEAR(fit.b, b, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.eval(64), c * std::pow(64, a) * std::pow(6.0, b), 1e-9);
+}
+
+TEST(FitModel, RecoversPurePowerLaw) {
+  bench::fit::Fit fit =
+      bench::fit::fitSeries(sampleModel(2.0, -1.0, 0.0, {2, 4, 8, 16}));
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.c, 2.0, 1e-9);
+  EXPECT_NEAR(fit.a, -1.0, 1e-9);
+  EXPECT_NEAR(fit.b, 0.0, 1e-9);
+}
+
+TEST(FitModel, TwoPointsFallBackToPowerLaw) {
+  // Two samples cannot identify the log2 exponent: expect b = 0 and the
+  // power law through both points, here T(p) = 1 * p^-1.
+  bench::fit::Fit fit = bench::fit::fitSeries({{2, 0.5}, {4, 0.25}});
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.points, 2);
+  EXPECT_EQ(fit.b, 0.0);
+  EXPECT_NEAR(fit.c, 1.0, 1e-9);
+  EXPECT_NEAR(fit.a, -1.0, 1e-9);
+}
+
+TEST(FitModel, DuplicateProcsMakeTheLogTermSingular) {
+  // Three samples but only two distinct p: the 3x3 system is singular
+  // (the log-log column is an affine image of the ln p column), so the fit
+  // must drop b and still solve the power law.
+  bench::fit::Fit fit =
+      bench::fit::fitSeries({{2, 1.0}, {4, 0.5}, {4, 0.5}});
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.points, 3);
+  EXPECT_EQ(fit.b, 0.0);
+  EXPECT_NEAR(fit.a, -1.0, 1e-9);
+}
+
+TEST(FitModel, SingleDistinctProcIsUnfittable) {
+  // One distinct p cannot pin an exponent at all: even the 2x2 fallback is
+  // singular and the fit reports failure instead of inventing numbers.
+  bench::fit::Fit fit =
+      bench::fit::fitSeries({{4, 1.0}, {4, 2.0}, {4, 3.0}});
+  EXPECT_FALSE(fit.ok);
+  bench::fit::Fit too_few = bench::fit::fitSeries({{8, 1.0}});
+  EXPECT_FALSE(too_few.ok);
+  EXPECT_EQ(too_few.points, 1);
+}
+
+TEST(FitModel, SolveNormalRejectsSingularSystems) {
+  std::vector<double> x;
+  EXPECT_TRUE(bench::fit::solveNormal({{2, 0, 2}, {0, 4, 8}}, x));
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_FALSE(bench::fit::solveNormal({{1, 2, 3}, {2, 4, 6}}, x));
+}
+
+// --- diff_compare -------------------------------------------------------
+
+// Runs the gate's comparator with printing routed to a sink; returns the
+// mismatch count.
+int mismatches(const std::string& base, const std::string& cur) {
+  bench::diff::Config cfg;
+  bench::diff::Report rep;
+  std::ostringstream sink;
+  rep.out = &sink;
+  bench::diff::compare(Json::parse(base), Json::parse(cur), "$", cfg, rep);
+  return rep.mismatches;
+}
+
+TEST(DiffCompare, HostShapeKeysAreIgnored) {
+  EXPECT_TRUE(bench::diff::isIgnoredKey("jobs"));
+  EXPECT_TRUE(bench::diff::isIgnoredKey("sim_threads"));
+  EXPECT_TRUE(bench::diff::isIgnoredKey("host"));
+  EXPECT_FALSE(bench::diff::isIgnoredKey("sim_seconds"));
+  EXPECT_FALSE(bench::diff::isIgnoredKey("messages"));
+  EXPECT_TRUE(bench::diff::isHostTimingKey("host_seconds"));
+  EXPECT_TRUE(bench::diff::isHostTimingKey("self_speedup_vs_serial"));
+  EXPECT_FALSE(bench::diff::isHostTimingKey("sim_seconds"));
+}
+
+TEST(DiffCompare, HostMetadataMayAppearWithoutRegeneratingTheBaseline) {
+  // The committed baseline predates the "host" record; a current file that
+  // carries one (with any contents) must still gate clean, in both
+  // directions, and differing host contents must never count as drift.
+  const std::string base = R"({"suite": "t", "sim_seconds": 1.5})";
+  const std::string cur =
+      R"({"suite": "t", "sim_seconds": 1.5,
+          "host": {"cores": 64, "jobs": 8, "compiler": "gcc 12"}})";
+  EXPECT_EQ(mismatches(base, cur), 0);
+  EXPECT_EQ(mismatches(cur, base), 0);
+  const std::string other_host =
+      R"({"suite": "t", "sim_seconds": 1.5,
+          "host": {"cores": 1, "jobs": 1, "compiler": "clang 17"}})";
+  EXPECT_EQ(mismatches(cur, other_host), 0);
+}
+
+TEST(DiffCompare, ThreadCountsNeverCompare) {
+  EXPECT_EQ(mismatches(R"({"jobs": 1, "sim_threads": 1, "messages": 10})",
+                       R"({"jobs": 32, "sim_threads": 4, "messages": 10})"),
+            0);
+}
+
+TEST(DiffCompare, SimulatedDriftStillFails) {
+  EXPECT_EQ(mismatches(R"({"sim_seconds": 1.5})", R"({"sim_seconds": 1.6})"),
+            1);
+  // A non-ignored key appearing or disappearing is drift too.
+  EXPECT_EQ(mismatches(R"({"a": 1})", R"({"a": 1, "b": 2})"), 1);
+  EXPECT_EQ(mismatches(R"({"a": 1, "b": 2})", R"({"a": 1})"), 1);
+}
+
+TEST(DiffCompare, HostTimingsGetToleranceNotEquality) {
+  // 20x apart but above the floor: within the default 25x tolerance.
+  EXPECT_EQ(mismatches(R"({"wall_seconds": 10.0})",
+                       R"({"wall_seconds": 200.0})"),
+            0);
+  // Beyond 25x: drift.
+  EXPECT_EQ(mismatches(R"({"wall_seconds": 10.0})",
+                       R"({"wall_seconds": 600.0})"),
+            1);
+  // Both under the 5s floor: noise, always passes.
+  EXPECT_EQ(mismatches(R"({"host_seconds": 0.001})",
+                       R"({"host_seconds": 4.9})"),
+            0);
+  // Present in only one file: not drift (run-shape dependent).
+  EXPECT_EQ(mismatches(R"({"serial_wall_seconds": 9.0, "a": 1})",
+                       R"({"a": 1})"),
+            0);
+}
+
+}  // namespace
+}  // namespace vodsm

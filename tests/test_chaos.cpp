@@ -13,18 +13,20 @@
 //    nanosecond on a faulted, traced run;
 //  * rerunning the cell under the conservative parallel engine
 //    (--sim-threads=4) reproduces the serial leg bit for bit — results,
-//    trace events, metrics, and the critical-path makespan partition.
+//    trace events, metrics, the critical-path makespan partition, and the
+//    rendered diagnosis report.
 //
 // The PR gate sweeps 3 profiles x 3 seeds; the nightly chaos workflow
 // extends the sweep via VODSM_CHAOS_PROFILES=all / VODSM_CHAOS_SEEDS=N and
-// collects failing-run traces plus repro lines under VODSM_CHAOS_ARTIFACTS
-// (see .github/workflows/chaos.yml).
+// collects failing-run traces, diagnosis JSONs, and repro lines under
+// VODSM_CHAOS_ARTIFACTS (see .github/workflows/chaos.yml).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,7 @@
 #include "apps/sor.hpp"
 #include "harness/run.hpp"
 #include "net/faults.hpp"
+#include "obs/diagnose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
@@ -139,8 +142,10 @@ std::vector<ChaosParam> sweep() {
 
 class ChaosSweep : public testing::TestWithParam<ChaosParam> {
  protected:
-  // On failure, drop the run's trace and an exact repro line where the
-  // nightly workflow can pick them up as artifacts.
+  // On failure, drop the run's trace, its ranked diagnosis, and an exact
+  // repro line where the nightly workflow can pick them up as artifacts —
+  // the diagnosis is the "why was this cell slow/broken" head start for
+  // whoever picks the bundle up.
   void TearDown() override {
     const char* dir = std::getenv("VODSM_CHAOS_ARTIFACTS");
     if (!HasFailure() || !dir || !*dir) return;
@@ -153,6 +158,10 @@ class ChaosSweep : public testing::TestWithParam<ChaosParam> {
       std::ofstream out(stem + ".trace.json");
       obs::writeChromeTrace(out, trace_);
     }
+    if (diagnosis_.enabled()) {
+      std::ofstream out(stem + ".diagnosis.json");
+      obs::writeDiagnosisJson(out, diagnosis_);
+    }
     std::ofstream repro(stem + ".repro.txt");
     repro << "tests/test_chaos --gtest_filter=" << info->test_suite_name()
           << "." << info->name() << "\n"
@@ -161,8 +170,18 @@ class ChaosSweep : public testing::TestWithParam<ChaosParam> {
   }
 
   obs::TraceRecorder trace_;
+  obs::Diagnosis diagnosis_;
   std::string spec_;
 };
+
+// The rendered diagnosis (human report + JSON) as one byte string, for
+// exact cross-schedule comparison.
+std::string renderDiagnosis(const obs::Diagnosis& d) {
+  std::ostringstream os;
+  obs::printDiagnosis(os, d, "chaos");
+  obs::writeDiagnosisJson(os, d);
+  return os.str();
+}
 
 TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
   const ChaosParam& param = GetParam();
@@ -183,6 +202,7 @@ TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
     c.trace = &tr;
     c.metrics = &mr;
     c.critpath = true;
+    c.diagnose = true;
 
     const bool traditional = param.proto == dsm::Protocol::kLrcDiff;
     RunResult r;
@@ -222,9 +242,15 @@ TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
 
   obs::MetricsRegistry reg;  // aggregates only; no sampler
   RunResult r = runCell(/*sim_threads=*/1, trace_, reg);
+  diagnosis_ = r.diagnosis;
 
   // The run terminated (Engine::run drained) with positive simulated time.
   EXPECT_GT(r.seconds, 0.0);
+
+  // The diagnoser ran over the faulted trace and produced a well-formed
+  // report (its findings are the failure bundle's first lead).
+  ASSERT_TRUE(r.diagnosis.enabled());
+  EXPECT_EQ(r.diagnosis.nprocs, kChaosProcs);
 
   // Frame conservation: everything sent was delivered or accounted to
   // exactly one drop counter; switch-made duplicates enter the books too.
@@ -299,6 +325,11 @@ TEST_P(ChaosSweep, SurvivesWithBooksBalanced) {
   ASSERT_TRUE(pr.critpath.enabled());
   EXPECT_EQ(pr.critpath.total(), pr.critpath.makespan);
   EXPECT_EQ(pr.critpath.makespan, r.critpath.makespan);
+
+  // The diagnosis renders byte-identically under the parallel schedule:
+  // same findings, same ranks, same evidence strings, same JSON.
+  ASSERT_TRUE(pr.diagnosis.enabled());
+  EXPECT_EQ(renderDiagnosis(pr.diagnosis), renderDiagnosis(r.diagnosis));
 
   // And the trace is the same byte stream: every event, every timestamp.
   const auto& se = trace_.events();
