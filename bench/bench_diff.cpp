@@ -47,8 +47,26 @@ Json loadFile(const std::string& name) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: bench_diff [--host-tolerance=X]"
-               " [--host-floor-seconds=S] BASELINE.json CURRENT.json\n";
+               " [--host-floor-seconds=S] [--allow-screened]"
+               " BASELINE.json CURRENT.json\n";
   std::exit(2);
+}
+
+// Full-token positive number; stod alone would accept "1x" and throw an
+// uncaught exception on "abc".
+double parseNum(const std::string& flag, const std::string& v) {
+  size_t used = 0;
+  double d = 0;
+  try {
+    d = std::stod(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (v.empty() || used != v.size() || d <= 0) {
+    std::cerr << flag << "=" << v << ": expected a positive number\n";
+    usage();
+  }
+  return d;
 }
 
 }  // namespace
@@ -60,9 +78,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--host-tolerance=", 0) == 0)
-      cfg.host_tolerance = std::stod(a.substr(17));
+      cfg.host_tolerance = parseNum("--host-tolerance", a.substr(17));
     else if (a.rfind("--host-floor-seconds=", 0) == 0)
-      cfg.host_floor_seconds = std::stod(a.substr(21));
+      cfg.host_floor_seconds = parseNum("--host-floor-seconds", a.substr(21));
+    else if (a == "--allow-screened")
+      cfg.allow_screened = true;
     else if (a.rfind("--", 0) == 0)
       usage();
     else
@@ -83,7 +103,10 @@ int main(int argc, char** argv) {
     }
     std::cout << "bench_diff: OK — simulated fields identical ("
               << rep.host_checked << " host-timing fields within "
-              << cfg.host_tolerance << "x)\n";
+              << cfg.host_tolerance << "x";
+    if (rep.screened_skipped > 0)
+      std::cout << ", " << rep.screened_skipped << " screened cells skipped";
+    std::cout << ")\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "bench_diff: " << e.what() << "\n";

@@ -5,11 +5,15 @@
 // fitted in log space (ln T = ln c + a ln p + b ln log2 p) through the
 // normal equations with partial pivoting. Header-only so the unit tests
 // (tests/test_bench_tools.cpp) exercise exactly the solver the CLI uses.
+// The elimination itself lives in model/linear.hpp, shared with the
+// multi-axis fitter (model/fit.hpp) that generalizes this form.
 #pragma once
 
 #include <cmath>
 #include <utility>
 #include <vector>
+
+#include "model/linear.hpp"
 
 namespace vodsm::bench::fit {
 
@@ -27,26 +31,12 @@ struct Fit {
 };
 
 // Solves the 3x3 (or 2x2 when the log-log term is dropped) normal
-// equations by Gaussian elimination with partial pivoting. `m` is the
-// augmented matrix (n rows of n + 1). Returns false on a singular system.
+// equations. `m` is the augmented matrix (n rows of n + 1). Returns false
+// on a singular system. Kept under its historical name; the implementation
+// is the shared one in model/linear.hpp.
 inline bool solveNormal(std::vector<std::vector<double>> m,
                         std::vector<double>& x) {
-  const size_t n = m.size();
-  for (size_t col = 0; col < n; ++col) {
-    size_t piv = col;
-    for (size_t r = col + 1; r < n; ++r)
-      if (std::fabs(m[r][col]) > std::fabs(m[piv][col])) piv = r;
-    if (std::fabs(m[piv][col]) < 1e-12) return false;
-    std::swap(m[col], m[piv]);
-    for (size_t r = 0; r < n; ++r) {
-      if (r == col) continue;
-      const double f = m[r][col] / m[col][col];
-      for (size_t k = col; k <= n; ++k) m[r][k] -= f * m[col][k];
-    }
-  }
-  x.resize(n);
-  for (size_t i = 0; i < n; ++i) x[i] = m[i][n] / m[i][i];
-  return true;
+  return model::solveNormal(std::move(m), x);
 }
 
 // Fits (p, T) samples; needs at least two points. The log2 exponent b is

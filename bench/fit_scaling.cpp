@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -84,13 +85,26 @@ std::string fmt(double v, int prec = 3) {
 int main(int argc, char** argv) {
   std::string path = "BENCH_tables.json";
   int max_p = 4096;
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--max-p=N]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--json=", 0) == 0) path = a.substr(7);
-    else if (a.rfind("--max-p=", 0) == 0) max_p = std::atoi(a.c_str() + 8);
-    else {
-      std::cerr << "usage: " << argv[0] << " [--json=PATH] [--max-p=N]\n";
-      return 2;
+    if (a.rfind("--json=", 0) == 0) {
+      path = a.substr(7);
+    } else if (a.rfind("--max-p=", 0) == 0) {
+      // atoi would silently turn a typo into 0; validate instead.
+      const std::string v = a.substr(8);
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || end != v.c_str() + v.size() || n < 2) {
+        std::cerr << a << ": --max-p needs an integer >= 2\n";
+        return usage();
+      }
+      max_p = static_cast<int>(n);
+    } else {
+      return usage();
     }
   }
 

@@ -58,12 +58,30 @@ struct Options {
   // build, and the JSON gains no fault fields (bench_regression_gate
   // compares exactly).
   std::string faults;
+  // table_suite only: analytic screen. Path to a model_suite JSON; cells
+  // whose recorded in-sample prediction error is within screen_tol are NOT
+  // simulated — their JSON row carries the model's prediction, marked
+  // "screened". Incompatible with --faults (the model knows nothing about
+  // injected faults).
+  std::string screen;
+  double screen_tol = 0.10;
 };
 
 inline int parseIntArg(const std::string& a, size_t prefix_len) {
   try {
     size_t used = 0;
     int v = std::stoi(a.substr(prefix_len), &used);
+    if (used == a.size() - prefix_len) return v;
+  } catch (...) {
+  }
+  std::cerr << "not a number: '" << a << "'\n";
+  std::exit(2);
+}
+
+inline double parseDoubleArg(const std::string& a, size_t prefix_len) {
+  try {
+    size_t used = 0;
+    double v = std::stod(a.substr(prefix_len), &used);
     if (used == a.size() - prefix_len) return v;
   } catch (...) {
   }
@@ -88,14 +106,27 @@ inline Options parseArgs(int argc, char** argv) {
       o.sim_threads = parseIntArg(a, 14);
     else if (a.rfind("--json=", 0) == 0) o.json = a.substr(7);
     else if (a.rfind("--faults=", 0) == 0) o.faults = a.substr(9);
+    else if (a.rfind("--screen=", 0) == 0) o.screen = a.substr(9);
+    else if (a.rfind("--screen-tol=", 0) == 0)
+      o.screen_tol = parseDoubleArg(a, 13);
     else {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--sim-threads=N]"
                    " [--json=PATH] [--breakdown] [--critpath] [--pageheat]"
                    " [--metrics] [--diagnose] [--compare-serial]"
-                   " [--faults=SPEC]\n";
+                   " [--faults=SPEC] [--screen=MODEL.json] [--screen-tol=X]\n";
       std::exit(2);
     }
+  }
+  if (!o.screen.empty() && !o.faults.empty()) {
+    // The fitted models describe fault-free runs; screening a faulted
+    // sweep would silently substitute fault-free predictions.
+    std::cerr << "--screen and --faults are mutually exclusive\n";
+    std::exit(2);
+  }
+  if (o.screen_tol <= 0) {
+    std::cerr << "--screen-tol must be positive\n";
+    std::exit(2);
   }
   return o;
 }

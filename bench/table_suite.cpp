@@ -13,6 +13,9 @@
 //   table_suite --compare-serial     # also measure the serial sweep and
 //                                    # record speedup in the JSON
 //   table_suite --json=out.json      # default: BENCH_tables.json
+//   table_suite --screen=model.json  # analytic screen: skip cells the
+//                                    # fitted model predicts within
+//                                    # --screen-tol (default 10%)
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -36,6 +39,23 @@ int main(int argc, char** argv) {
   const int jobs = harness::resolveJobs(opts.jobs);
 
   auto specs = bench::allTableSpecs(opts);
+
+  if (!opts.screen.empty()) {
+    // Replace model-predicted cells' runs with their predictions before
+    // flattening; every skip is logged with the predicted value and the
+    // model term it came from. Non-screened cells are untouched, so their
+    // simulated fields stay byte-identical to a screen-free sweep.
+    try {
+      const int skipped =
+          bench::applyScreen(specs, opts.screen, opts.screen_tol, std::cerr);
+      std::cerr << "table_suite: screen " << opts.screen << " skipped "
+                << skipped << " cells (tol "
+                << static_cast<int>(opts.screen_tol * 100) << "%)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "table_suite: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   // Flatten every table's cells into one global sweep.
   struct Slot {

@@ -1,13 +1,18 @@
 #include "bench/tables.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <thread>
 
 #include "bench/paper_params.hpp"
 #include "harness/parallel_runner.hpp"
+#include "model/model_set.hpp"
+#include "support/json.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/diagnose.hpp"
@@ -44,6 +49,42 @@ constexpr const char* kCompilerId = "unknown";
 std::string cellId(const std::string& app, const std::string& impl,
                    int procs) {
   return app + "/" + impl + "/" + std::to_string(procs) + "p";
+}
+
+// --- axis variations (table 10) -----------------------------------------
+
+// One off-reference coordinate of the model axis space: a problem-size
+// scale, a link bandwidth, or a frame-loss rate different from the paper
+// testbed's. The suffix joins the cell id ("IS/LRC_d/16p/bw50").
+struct AxisVariation {
+  const char* suffix;
+  double n_scale;
+  double bw_mbps;
+  double loss_pct;
+};
+
+// Two points per axis so every regressor of the model family is
+// identified. Loss stays <= 0.5%: each lost frame costs a one-second RTO,
+// so higher rates blow up simulated (and host) time.
+constexpr AxisVariation kAxisVariations[] = {
+    {"bw50", 1.0, 50.0, 0.0},    {"bw200", 1.0, 200.0, 0.0},
+    {"loss0.2", 1.0, 100.0, 0.2}, {"loss0.5", 1.0, 100.0, 0.5},
+    {"n0.5", 0.5, 100.0, 0.0},    {"n2", 2.0, 100.0, 0.0},
+};
+
+model::AxisPoint axisPoint(int procs, const AxisVariation& v) {
+  model::AxisPoint a;
+  a.procs = procs;
+  a.n_scale = v.n_scale;
+  a.bw_mbps = v.bw_mbps;
+  a.loss_pct = v.loss_pct;
+  a.explicit_axes = true;
+  return a;
+}
+
+void applyAxes(harness::RunConfig& c, const model::AxisPoint& a) {
+  c.net.bandwidth_bps = a.bw_mbps * 1e6;
+  c.net.random_loss = a.loss_pct / 100.0;
 }
 
 // --- cell builders: one per (app, variant) pair -------------------------
@@ -235,6 +276,52 @@ Cell nnSeqCell(const Options& o) {
               }};
 }
 
+// Axis-sweep builders: like isCell/sorCell but at an off-reference
+// coordinate. The problem-size scale hits the app's natural work knob
+// (IS: key count; SOR: iteration count — both scale total work linearly
+// without changing the sharing pattern); bandwidth and loss go through
+// NetConfig.
+Cell isAxisCell(const Options& o, const std::string& impl, Protocol proto,
+                IsVariant variant, int procs, const AxisVariation& v) {
+  auto params = isParams(o.full);
+  params.n_keys = static_cast<size_t>(
+      static_cast<double>(params.n_keys) * v.n_scale);
+  const CellFlags flags = flagsOf(o);
+  const model::AxisPoint axes = axisPoint(procs, v);
+  Cell cell{cellId("IS", impl, procs) + "/" + v.suffix, [=] {
+              harness::RunConfig base = baseConfig(proto, procs);
+              applyAxes(base, axes);
+              return runCell(flags, base,
+                             [&](const harness::RunConfig& cfg) {
+                               return apps::runIs(cfg, params, variant)
+                                   .result;
+                             });
+            }};
+  cell.axes = axes;
+  return cell;
+}
+
+Cell sorAxisCell(const Options& o, const std::string& impl, Protocol proto,
+                 SorVariant variant, int procs, const AxisVariation& v) {
+  auto params = sorParams(o.full);
+  params.iterations = std::max(
+      1, static_cast<int>(static_cast<double>(params.iterations) *
+                          v.n_scale));
+  const CellFlags flags = flagsOf(o);
+  const model::AxisPoint axes = axisPoint(procs, v);
+  Cell cell{cellId("SOR", impl, procs) + "/" + v.suffix, [=] {
+              harness::RunConfig base = baseConfig(proto, procs);
+              applyAxes(base, axes);
+              return runCell(flags, base,
+                             [&](const harness::RunConfig& cfg) {
+                               return apps::runSor(cfg, params, variant)
+                                   .result;
+                             });
+            }};
+  cell.axes = axes;
+  return cell;
+}
+
 // --- table shapes -------------------------------------------------------
 
 // Stats table: one column per named cell, in cell order.
@@ -400,6 +487,36 @@ TableSpec table9Spec(const Options& o) {
                      std::move(grid));
 }
 
+TableSpec table10Spec(const Options& o) {
+  TableSpec spec;
+  spec.name = "table10_axis_sweep";
+  for (const AxisVariation& v : kAxisVariations) {
+    spec.cells.push_back(isAxisCell(o, "LRC_d", Protocol::kLrcDiff,
+                                    IsVariant::kTraditional, o.procs, v));
+    spec.cells.push_back(
+        isAxisCell(o, "VC_sd", Protocol::kVcSd, IsVariant::kVopp, o.procs, v));
+    spec.cells.push_back(sorAxisCell(o, "LRC_d", Protocol::kLrcDiff,
+                                     SorVariant::kTraditional, o.procs, v));
+    spec.cells.push_back(sorAxisCell(o, "VC_sd", Protocol::kVcSd,
+                                     SorVariant::kVopp, o.procs, v));
+  }
+  std::vector<std::string> ids;
+  for (const Cell& c : spec.cells) ids.push_back(c.id);
+  spec.print = [ids = std::move(ids), procs = o.procs](
+                   std::ostream& os, const std::vector<RunResult>& results) {
+    os << "\nTable 10: Axis sweep (bandwidth / loss / size) on "
+       << std::to_string(procs) << " processors\n";
+    TextTable t;
+    t.header({"cell", "Time (Sec.)", "Num. Msg", "Rexmit"});
+    for (size_t i = 0; i < results.size(); ++i)
+      t.row({ids[i], TextTable::format(results[i].seconds),
+             TextTable::format(results[i].net.messages),
+             TextTable::format(results[i].net.retransmissions)});
+    t.print(os);
+  };
+  return spec;
+}
+
 std::vector<TableSpec> allTableSpecs(const Options& o) {
   std::vector<TableSpec> specs;
   specs.push_back(table1Spec(o));
@@ -411,7 +528,47 @@ std::vector<TableSpec> allTableSpecs(const Options& o) {
   specs.push_back(table7Spec(o));
   specs.push_back(table8Spec(o));
   specs.push_back(table9Spec(o));
+  specs.push_back(table10Spec(o));
   return specs;
+}
+
+int applyScreen(std::vector<TableSpec>& specs, const std::string& model_path,
+                double tol, std::ostream& log) {
+  std::ifstream f(model_path, std::ios::binary);
+  VODSM_CHECK_MSG(f.good(), "cannot read screen model " + model_path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::vector<model::CellEval> evals =
+      model::loadModelEvals(support::Json::parse(buf.str()));
+  std::map<std::string, const model::CellEval*> by_id;
+  for (const model::CellEval& e : evals) by_id[e.id] = &e;
+
+  int screened = 0;
+  for (TableSpec& spec : specs) {
+    for (Cell& cell : spec.cells) {
+      const auto it = by_id.find(cell.id);
+      // Only skip a cell the model has demonstrably hit: its recorded
+      // prediction error (from the model's own fit run) must be within
+      // tolerance. Unknown cells always simulate.
+      if (it == by_id.end() || it->second->rel_err > tol) continue;
+      const double predicted = it->second->predicted;
+      const std::string note = it->second->note;
+      cell.run = [predicted, note] {
+        RunResult r;
+        r.seconds = predicted;
+        r.screened = true;
+        r.screen_note = note;
+        return r;
+      };
+      char line[64];
+      std::snprintf(line, sizeof(line), "%.6f s (fit err %.1f%%", predicted,
+                    it->second->rel_err * 100.0);
+      log << "screen: skip " << cell.id << " — predicted " << line
+          << ", model " << note << ")\n";
+      ++screened;
+    }
+  }
+  return screened;
 }
 
 SpecRun runSpec(const TableSpec& spec, int jobs) {
@@ -430,12 +587,29 @@ SpecRun runSpec(const TableSpec& spec, int jobs) {
   return out;
 }
 
+namespace {
+
+std::string jsonEsc(const std::string& s) {
+  std::string esc;
+  for (char c : s) {
+    if (c == '"' || c == '\\') esc.push_back('\\');
+    esc.push_back(c);
+  }
+  return esc;
+}
+
+}  // namespace
+
 void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
                      const std::vector<SpecRun>& runs, const Options& o,
                      int jobs, double wall_seconds,
                      double serial_wall_seconds) {
   size_t n_cells = 0;
   for (const auto& s : specs) n_cells += s.cells.size();
+  size_t n_screened = 0;
+  for (const auto& run : runs)
+    for (const auto& r : run.results)
+      if (r.screened) ++n_screened;
   os << std::setprecision(6) << std::fixed;
   os << "{\n";
   os << "  \"suite\": \"paper_tables\",\n";
@@ -453,12 +627,15 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
     // Record the active fault spec (escaped as a JSON string) so a faulted
     // artifact can never be mistaken for a baseline. Fault-free runs write
     // no fault keys at all, keeping the baseline byte-identical.
-    std::string esc;
-    for (char c : o.faults) {
-      if (c == '"' || c == '\\') esc.push_back('\\');
-      esc.push_back(c);
-    }
-    os << "  \"faults\": \"" << esc << "\",\n";
+    os << "  \"faults\": \"" << jsonEsc(o.faults) << "\",\n";
+  }
+  if (!o.screen.empty()) {
+    // Screen provenance, written only on screened sweeps (like "faults"):
+    // a screened artifact names its model and how many cells it skipped,
+    // so it can never be mistaken for a fully simulated baseline.
+    // bench_diff only tolerates these keys under --allow-screened.
+    os << "  \"screen\": \"" << jsonEsc(o.screen) << "\",\n";
+    os << "  \"screened_cells\": " << n_screened << ",\n";
   }
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"cells\": " << n_cells << ",\n";
@@ -475,9 +652,29 @@ void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,
        << runs[s].wall_seconds << ", \"cells\": [\n";
     for (size_t i = 0; i < specs[s].cells.size(); ++i) {
       const auto& r = runs[s].results[i];
+      const model::AxisPoint& ax = specs[s].cells[i].axes;
+      if (r.screened) {
+        // A screened cell was never simulated: it records the model's
+        // prediction and NO simulated fields, so it cannot contaminate a
+        // baseline comparison (bench_diff skips it under --allow-screened
+        // and fails loudly otherwise).
+        os << "      {\"id\": \"" << specs[s].cells[i].id
+           << "\", \"screened\": true, \"predicted_seconds\": " << r.seconds
+           << ", \"screen_note\": \"" << jsonEsc(r.screen_note) << "\"}"
+           << (i + 1 < specs[s].cells.size() ? "," : "") << "\n";
+        continue;
+      }
       os << "      {\"id\": \"" << specs[s].cells[i].id
-         << "\", \"sim_seconds\": " << r.seconds
-         << ", \"host_seconds\": " << runs[s].cell_host_seconds[i]
+         << "\", \"sim_seconds\": " << r.seconds;
+      if (ax.explicit_axes) {
+        // The cell's coordinates in the model axis space; input metadata,
+        // not simulated output, so bench_diff ignores the object.
+        os << ", \"axes\": {\"procs\": " << ax.procs
+           << ", \"n_scale\": " << ax.n_scale
+           << ", \"bw_mbps\": " << ax.bw_mbps
+           << ", \"loss_pct\": " << ax.loss_pct << "}";
+      }
+      os << ", \"host_seconds\": " << runs[s].cell_host_seconds[i]
          << ", \"sim_threads\": " << r.sim_threads
          << ", \"messages\": " << r.net.messages
          << ", \"payload_bytes\": " << r.net.payload_bytes;

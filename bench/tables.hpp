@@ -14,12 +14,22 @@
 #include <vector>
 
 #include "bench/table_common.hpp"
+#include "model/axes.hpp"
 
 namespace vodsm::bench {
 
 struct Cell {
+  Cell() = default;
+  Cell(std::string id_, std::function<harness::RunResult()> run_)
+      : id(std::move(id_)), run(std::move(run_)) {}
+
   std::string id;  // e.g. "IS/VC_sd/16p"
   std::function<harness::RunResult()> run;
+  // Coordinates in the model axis space. Plain paper-table cells sit at
+  // the reference configuration (explicit_axes false); axis-sweep cells
+  // record their full coordinates in the JSON so model_suite can fit over
+  // them.
+  model::AxisPoint axes;
 };
 
 struct TableSpec {
@@ -38,7 +48,19 @@ TableSpec table6Spec(const Options& o);
 TableSpec table7Spec(const Options& o);
 TableSpec table8Spec(const Options& o);
 TableSpec table9Spec(const Options& o);
+// Off-p-axis sweep (not from the paper): bandwidth, loss-rate and
+// problem-size variations of the 16-processor IS and SOR cells, giving the
+// multi-axis fitter real training data on every model axis.
+TableSpec table10Spec(const Options& o);
 std::vector<TableSpec> allTableSpecs(const Options& o);
+
+// Analytic screen: for every cell whose id appears in `model_path`'s eval
+// list with recorded prediction error <= tol, replaces the cell's run with
+// the model's prediction (RunResult::screened) and logs the skip to `log`
+// with the predicted value and the dominant model term. Returns the number
+// of cells screened. Throws vodsm::Error on an unreadable model file.
+int applyScreen(std::vector<TableSpec>& specs, const std::string& model_path,
+                double tol, std::ostream& log);
 
 // Results of executing one spec's cells.
 struct SpecRun {

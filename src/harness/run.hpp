@@ -72,6 +72,12 @@ struct RunResult {
   // output; the bench gate treats these as host-timing/ignored keys.
   int sim_threads = 1;
   double self_speedup_vs_serial = 0;
+  // Analytic screen (bench --screen=model.json): this result was NOT
+  // simulated — `seconds` is the fitted model's prediction and every other
+  // field is empty. The bench JSON marks such cells "screened" and omits
+  // all simulated fields so they can never contaminate a baseline.
+  bool screened = false;
+  std::string screen_note;  // dominant model term behind the prediction
 
   double dataMBytes() const {
     return static_cast<double>(net.payload_bytes) / 1e6;

@@ -1,0 +1,67 @@
+// The experiment axes of the analytic performance models.
+//
+// Every benchmark cell is a point in a four-dimensional configuration
+// space: processor count p, problem-size scale n (relative to the default
+// paper-table size), link bandwidth (Mbps), and random frame-loss rate
+// (percent). The models fitted over these axes use the multiplicative
+// performance-model-normal-form family
+//
+//     T(x) = c * p^e0 * log2(p)^e1 * n^e2 * (bw_ref/bw)^e3
+//              * (1 + 100*loss)^e4
+//
+// which is linear in log space: ln T = ln c + sum_r e_r * regressor_r(x).
+// This header defines the axis point and the fixed regressor basis; the
+// fitter (model/fit.hpp) selects which regressors a series actually needs.
+#pragma once
+
+#include <cmath>
+
+namespace vodsm::model {
+
+// One cell's coordinates. Defaults are the paper-table reference
+// configuration (100 Mbps switched Ethernet, no loss, default sizes), so a
+// plain speedup-table cell is fully described by `procs`.
+struct AxisPoint {
+  int procs = 0;
+  double n_scale = 1.0;   // problem size relative to the default params
+  double bw_mbps = 100.0;  // per-link bandwidth
+  double loss_pct = 0.0;   // uniform random frame loss, percent
+  // True when the producing cell swept a non-p axis; bench/tables.cpp then
+  // records the full "axes" object in BENCH_tables.json.
+  bool explicit_axes = false;
+};
+
+// Reference bandwidth of the paper's testbed; the bandwidth regressor is
+// the slowdown factor relative to it.
+inline constexpr double kRefBandwidthMbps = 100.0;
+
+// Regressor indices (the intercept ln c is implicit and always present).
+enum Regressor : int {
+  kLnP = 0,      // ln p
+  kLnLog2P = 1,  // ln log2(p)
+  kLnN = 2,      // ln n_scale
+  kLnInvBw = 3,  // ln (bw_ref / bw)
+  kLnLoss = 4,   // ln (1 + 100 * loss_pct)
+  kRegressorCount = 5,
+};
+
+// Display names for formulas, in regressor order.
+inline constexpr const char* kRegressorTerm[kRegressorCount] = {
+    "p", "log2(p)", "n", "(100/bw)", "(1+100*loss)"};
+
+// ln-space value of regressor `r` at axis point `x`. Requires procs >= 2
+// (ln log2(p) is undefined below that); every loader excludes 1-processor
+// cells before fitting.
+inline double regressor(const AxisPoint& x, int r) {
+  switch (r) {
+    case kLnP: return std::log(static_cast<double>(x.procs));
+    case kLnLog2P:
+      return std::log(std::log2(static_cast<double>(x.procs)));
+    case kLnN: return std::log(x.n_scale);
+    case kLnInvBw: return std::log(kRefBandwidthMbps / x.bw_mbps);
+    case kLnLoss: return std::log(1.0 + 100.0 * x.loss_pct);
+  }
+  return 0;
+}
+
+}  // namespace vodsm::model

@@ -1,0 +1,82 @@
+#include "model/extrap.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "support/json_writer.hpp"  // jsonNumber for fixed formatting
+
+namespace vodsm::model {
+
+namespace {
+
+struct Series {
+  std::string app;
+  std::string impl;
+  std::vector<const CellSample*> cells;
+};
+
+std::string point(const AxisPoint& a) {
+  return "( " + std::to_string(a.procs) + " " +
+         support::jsonNumber(a.n_scale, "%.6g") + " " +
+         support::jsonNumber(a.bw_mbps, "%.6g") + " " +
+         support::jsonNumber(a.loss_pct, "%.6g") + " )";
+}
+
+void region(std::ostream& os, const Series& s, const std::string& name,
+            const std::vector<double>& values) {
+  os << "REGION " << s.app << "->" << s.impl;
+  if (!name.empty()) os << "->" << name;
+  os << "\n";
+  os << "METRIC time\n";
+  os << "POINTS";
+  for (const CellSample* c : s.cells) os << " " << point(c->axes);
+  os << "\n";
+  for (double v : values)
+    os << "DATA " << support::jsonNumber(v, "%.6f") << "\n";
+}
+
+}  // namespace
+
+void writeExtrap(std::ostream& os, const std::vector<CellSample>& cells) {
+  std::vector<Series> series;
+  for (const CellSample& c : cells) {
+    if (c.axes.procs < 2 || c.impl == "seq" || c.sim_seconds <= 0) continue;
+    Series* s = nullptr;
+    for (Series& g : series)
+      if (g.app == c.app && g.impl == c.impl) s = &g;
+    if (s == nullptr) {
+      series.push_back({c.app, c.impl, {}});
+      s = &series.back();
+    }
+    s->cells.push_back(&c);
+  }
+  for (Series& s : series)
+    std::sort(s.cells.begin(), s.cells.end(),
+              [](const CellSample* a, const CellSample* b) {
+                return a->id < b->id;
+              });
+
+  os << "PARAMETER p\n";
+  os << "PARAMETER n\n";
+  os << "PARAMETER bw\n";
+  os << "PARAMETER loss\n";
+  for (const Series& s : series) {
+    os << "\n";
+    std::vector<double> totals;
+    for (const CellSample* c : s.cells) totals.push_back(c->sim_seconds);
+    region(os, s, "", totals);
+    const bool buckets = std::all_of(
+        s.cells.begin(), s.cells.end(),
+        [](const CellSample* c) { return c->has_breakdown; });
+    if (!buckets) continue;
+    for (int b = 0; b < kBucketCount; ++b) {
+      std::vector<double> vals;
+      for (const CellSample* c : s.cells) vals.push_back(c->breakdown[b]);
+      os << "\n";
+      region(os, s, kBucketName[b], vals);
+    }
+  }
+}
+
+}  // namespace vodsm::model

@@ -1,0 +1,25 @@
+// Extra-P text-format export of the measured benchmark cells.
+//
+// Extra-P (the compositional performance analyzer this subsystem follows)
+// ingests a plain-text experiment format: PARAMETER declarations, then per
+// call-path "region" a POINTS line naming the measured coordinates and one
+// DATA line per coordinate. We export each (app, impl) series as a region
+// tree — app->impl for total time plus app->impl->bucket per breakdown
+// bucket — over the four axes (p, n, bw, loss), so the upstream GUI can
+// re-fit and browse the same data our own fitter consumes. Output is
+// byte-deterministic for a given cell set.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "model/table_data.hpp"
+
+namespace vodsm::model {
+
+// Writes all fittable cells (p >= 2, non-seq, positive total). Cells are
+// grouped by (app, impl) in first-seen order and id-sorted within a
+// series, mirroring buildModelSet's training view of the data.
+void writeExtrap(std::ostream& os, const std::vector<CellSample>& cells);
+
+}  // namespace vodsm::model

@@ -1,0 +1,50 @@
+// Loader turning BENCH_tables.json into fit samples.
+//
+// A cell id reads "App/Impl/Np" with an optional variation suffix
+// ("IS/LRC_d/16p/bw50"); the p axis comes from the id, the off-p axes from
+// the cell's optional "axes" object (absent on plain paper-table cells,
+// which sit at the reference configuration). Cells repeat across tables
+// (the stats and speedup tables share grid points) and are deduplicated by
+// id. Sequential cells and p = 1 points are kept in the load — exclusion
+// from fitting (ln log2(1) is undefined) happens in the model builder so
+// the loader stays a faithful view of the artifact.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/axes.hpp"
+#include "support/json.hpp"
+
+namespace vodsm::model {
+
+// The five runtime buckets of obs::Breakdown, in its canonical order.
+// Node-summed: the buckets of one cell add up to p * sim_seconds.
+inline constexpr int kBucketCount = 5;
+inline constexpr const char* kBucketName[kBucketCount] = {
+    "compute", "barrier_wait", "acquire_wait", "fault_diff", "idle"};
+
+struct CellSample {
+  std::string id;    // "IS/LRC_d/16p" or "IS/LRC_d/16p/bw50"
+  std::string app;   // "IS"
+  std::string impl;  // "LRC_d"
+  AxisPoint axes;
+  double sim_seconds = 0;
+  bool has_breakdown = false;
+  std::array<double, kBucketCount> breakdown{};  // node-summed seconds
+};
+
+// Splits an id into app/impl/procs(+suffix). Returns false when the id
+// does not follow the "App/Impl/Np[...]" convention.
+bool parseCellId(const std::string& id, std::string& app, std::string& impl,
+                 int& procs);
+
+// All unique cells of a parsed BENCH_tables.json document, in first-seen
+// (file) order. Throws vodsm::Error on a structurally unexpected document.
+std::vector<CellSample> loadTableCells(const support::Json& root);
+
+// Convenience: read + parse + load. Throws on I/O or parse failure.
+std::vector<CellSample> loadTableCellsFile(const std::string& path);
+
+}  // namespace vodsm::model

@@ -1,0 +1,154 @@
+// Streaming JSON writer with deterministic, byte-stable output.
+//
+// The repo's emitters (BENCH_tables.json, model JSON) are regression-gated
+// byte-for-byte, so the writer never reorders members, never varies
+// whitespace, and formats every number through an explicit printf format
+// chosen by the caller ("%.6f" for seconds, "%.17g" for model coefficients
+// that must round-trip). Comma/indent bookkeeping lives here so emitters
+// read as a flat sequence of key()/value() calls.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vodsm::support {
+
+// RFC 8259 string escaping: quotes, backslash, control characters.
+inline std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// printf-formatted double; callers pick the precision their artifact gates
+// on. "%.17g" round-trips any double exactly.
+inline std::string jsonNumber(double v, const char* fmt = "%.17g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject() {
+    open('{');
+    return *this;
+  }
+  JsonWriter& endObject() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& beginArray() {
+    open('[');
+    return *this;
+  }
+  JsonWriter& endArray() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    indent();
+    os_ << '"' << jsonEscape(k) << "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    lead();
+    os_ << '"' << jsonEscape(s) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    lead();
+    os_ << (b ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    lead();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    lead();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(double v, const char* fmt = "%.17g") {
+    lead();
+    os_ << jsonNumber(v, fmt);
+    return *this;
+  }
+
+ private:
+  void open(char c) {
+    lead();
+    os_ << c;
+    stack_.push_back(false);
+  }
+  void close(char c) {
+    const bool had_items = !stack_.empty() && stack_.back();
+    if (!stack_.empty()) stack_.pop_back();
+    if (had_items) {
+      os_ << '\n';
+      indentRaw();
+    }
+    os_ << c;
+  }
+  // Before a value: either it completes a pending key, or it is an array /
+  // top-level element and needs its own comma + indent.
+  void lead() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    comma();
+    indent();
+  }
+  void comma() {
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+  void indent() {
+    if (!stack_.empty()) {
+      os_ << '\n';
+      indentRaw();
+    }
+  }
+  void indentRaw() {
+    for (size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // per open container: "has emitted an item"
+  bool pending_key_ = false;
+};
+
+}  // namespace vodsm::support
