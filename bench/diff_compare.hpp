@@ -16,10 +16,22 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "support/json.hpp"
 
 namespace vodsm::bench::diff {
+
+// Profile file name for a cell id: '/' becomes '_' and ".profile.json" is
+// appended ("IS/LRC_d/16p" -> "IS_LRC_d_16p.profile.json"). Shared between
+// the table binaries (which write per-cell profiles under --profiles) and
+// bench_diff --explain (which reads them back for drifted cells).
+inline std::string cellProfileFileName(const std::string& cell_id) {
+  std::string name = cell_id;
+  for (char& c : name)
+    if (c == '/') c = '_';
+  return name + ".profile.json";
+}
 
 struct Config {
   // A host timing passes when the larger value is within `host_tolerance`
@@ -40,6 +52,12 @@ struct Report {
   int screened_skipped = 0;
   static constexpr int kMaxPrinted = 50;
   std::ostream* out = &std::cout;
+  // Ids of the cells ("$.tables[].cells[]" objects, recognized by their
+  // string "id" member) whose subtree drifted, in first-drift order.
+  // bench_diff --explain uses these to pick which per-cell profile pairs
+  // to difference.
+  std::vector<std::string> drifted_cells;
+  std::string current_cell;  // set while comparing inside a cell object
 
   void fail(const std::string& path, const std::string& why) {
     if (mismatches < kMaxPrinted)
@@ -47,6 +65,10 @@ struct Report {
     else if (mismatches == kMaxPrinted)
       *out << "  ... further mismatches suppressed\n";
     ++mismatches;
+    if (!current_cell.empty() &&
+        std::find(drifted_cells.begin(), drifted_cells.end(),
+                  current_cell) == drifted_cells.end())
+      drifted_cells.push_back(current_cell);
   }
 };
 
@@ -166,6 +188,13 @@ inline void compare(const support::Json& base, const support::Json& cur,
         ++rep.screened_skipped;
         return;
       }
+      // Cell objects carry a string "id"; remember it while comparing the
+      // subtree so fail() can attribute drift to the cell.
+      const Json* id = base.find("id");
+      const bool is_cell =
+          id != nullptr && id->type() == Json::Type::kString;
+      const std::string saved_cell = rep.current_cell;
+      if (is_cell) rep.current_cell = id->asString();
       for (const auto& [key, bval] : base.members()) {
         if (isIgnoredKey(key)) continue;
         if (cfg.allow_screened && isScreenKey(key)) continue;
@@ -188,6 +217,7 @@ inline void compare(const support::Json& base, const support::Json& cur,
         if (cfg.allow_screened && isScreenKey(key)) continue;
         if (!base.find(key)) rep.fail(path + "." + key, "key appeared");
       }
+      rep.current_cell = saved_cell;
       return;
     }
   }

@@ -2,8 +2,15 @@
 # regenerate every cell of the paper tables with table_suite, then require
 # bench_diff to find zero simulated drift against the committed baseline.
 #
+# The suite run also captures one persisted run profile per cell into
+# ${OUT_DIR}/fresh_profiles. On drift, bench_diff reruns with --explain
+# against the committed baseline profiles (-DPROFILES, optional), printing
+# a ranked differential report per drifted cell and writing the JSON
+# reports to ${OUT_DIR}/explain so CI can upload them as a failure
+# artifact.
+#
 #   cmake -DTABLE_SUITE=... -DBENCH_DIFF=... -DBASELINE=... -DOUT_DIR=...
-#         -P regression_gate.cmake
+#         [-DPROFILES=...] -P regression_gate.cmake
 foreach(var TABLE_SUITE BENCH_DIFF BASELINE OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "regression_gate.cmake: -D${var}=... is required")
@@ -11,7 +18,9 @@ foreach(var TABLE_SUITE BENCH_DIFF BASELINE OUT_DIR)
 endforeach()
 
 set(fresh "${OUT_DIR}/fresh_tables.json")
+set(fresh_profiles "${OUT_DIR}/fresh_profiles")
 execute_process(COMMAND "${TABLE_SUITE}" "--json=${fresh}"
+                        "--profiles=${fresh_profiles}"
                 RESULT_VARIABLE suite_rc
                 OUTPUT_QUIET)
 if(NOT suite_rc EQUAL 0)
@@ -21,9 +30,19 @@ endif()
 execute_process(COMMAND "${BENCH_DIFF}" "${BASELINE}" "${fresh}"
                 RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
+  if(DEFINED PROFILES AND EXISTS "${PROFILES}")
+    # Explain the drift: difference each drifted cell's committed baseline
+    # profile against the fresh one. This rerun exits nonzero again (the
+    # drift is still there); the gate verdict is the original diff_rc.
+    execute_process(COMMAND "${BENCH_DIFF}"
+                            "--explain=${PROFILES},${fresh_profiles}"
+                            "--explain-out=${OUT_DIR}/explain"
+                            "${BASELINE}" "${fresh}")
+  endif()
   message(FATAL_ERROR
           "bench regression gate failed (exit ${diff_rc}): simulated fields "
           "drifted from ${BASELINE}; if the change is intended, regenerate "
-          "the baseline with table_suite --json=BENCH_tables.json and commit "
-          "it alongside the code change")
+          "the baseline with table_suite --json=BENCH_tables.json "
+          "--profiles=bench/profiles and commit both alongside the code "
+          "change")
 endif()

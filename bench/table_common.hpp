@@ -51,6 +51,17 @@ struct Options {
   // like the other analyses: sim results are unchanged, and the report is
   // byte-identical across --jobs / --sim-threads.
   bool diagnose = false;
+  // Trace + meter every cell and write one persisted run profile
+  // (obs::RunProfile JSON) per cell into this directory, named after the
+  // cell id ("IS/LRC_d/16p" -> "IS_LRC_d_16p.profile.json"). Accepted as
+  // --profile=DIR and --profiles=DIR. Post-processing only: sim results
+  // are unchanged and the profiles are byte-identical across --jobs /
+  // --sim-threads.
+  std::string profile_dir;
+  // Load the per-cell baseline profiles from this directory and print the
+  // ranked differential report (baseline = A, this run = B) for every cell
+  // present in both. Implies profiling this run's cells.
+  std::string compare_dir;
   // table_suite only: also run the sweep serially and record the speedup.
   bool compare_serial = false;
   // Fault-plan spec applied to every cell (net::parseFaultPlan grammar).
@@ -105,6 +116,9 @@ inline Options parseArgs(int argc, char** argv) {
     else if (a.rfind("--sim-threads=", 0) == 0)
       o.sim_threads = parseIntArg(a, 14);
     else if (a.rfind("--json=", 0) == 0) o.json = a.substr(7);
+    else if (a.rfind("--profile=", 0) == 0) o.profile_dir = a.substr(10);
+    else if (a.rfind("--profiles=", 0) == 0) o.profile_dir = a.substr(11);
+    else if (a.rfind("--compare=", 0) == 0) o.compare_dir = a.substr(10);
     else if (a.rfind("--faults=", 0) == 0) o.faults = a.substr(9);
     else if (a.rfind("--screen=", 0) == 0) o.screen = a.substr(9);
     else if (a.rfind("--screen-tol=", 0) == 0)
@@ -113,8 +127,9 @@ inline Options parseArgs(int argc, char** argv) {
       std::cerr << "usage: " << argv[0]
                 << " [--full] [--procs=N] [--jobs=N] [--sim-threads=N]"
                    " [--json=PATH] [--breakdown] [--critpath] [--pageheat]"
-                   " [--metrics] [--diagnose] [--compare-serial]"
-                   " [--faults=SPEC] [--screen=MODEL.json] [--screen-tol=X]\n";
+                   " [--metrics] [--diagnose] [--profiles=DIR]"
+                   " [--compare=DIR] [--compare-serial] [--faults=SPEC]"
+                   " [--screen=MODEL.json] [--screen-tol=X]\n";
       std::exit(2);
     }
   }
@@ -122,6 +137,15 @@ inline Options parseArgs(int argc, char** argv) {
     // The fitted models describe fault-free runs; screening a faulted
     // sweep would silently substitute fault-free predictions.
     std::cerr << "--screen and --faults are mutually exclusive\n";
+    std::exit(2);
+  }
+  if (!o.screen.empty() &&
+      (o.diagnose || !o.profile_dir.empty() || !o.compare_dir.empty())) {
+    // Screened cells are predicted, not simulated: there is no trace to
+    // diagnose or profile, so these combinations would silently produce
+    // empty analyses for the screened subset.
+    std::cerr << "--screen cannot be combined with --diagnose, --profiles"
+                 " or --compare\n";
     std::exit(2);
   }
   if (o.screen_tol <= 0) {

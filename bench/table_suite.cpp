@@ -102,6 +102,20 @@ int main(int argc, char** argv) {
   for (size_t s = 0; s < specs.size(); ++s)
     specs[s].print(std::cout, runs[s].results);
 
+  // Persisted per-cell run profiles and differential reports against a
+  // baseline profile directory (see obs/profile.hpp, obs/profile_diff.hpp).
+  // Both are pure post-processing over the sweep's traces.
+  try {
+    if (!opts.profile_dir.empty())
+      bench::writeCellProfiles(opts.profile_dir, specs, runs, std::cerr);
+    if (!opts.compare_dir.empty())
+      bench::compareCellProfiles(opts.compare_dir, specs, runs, std::cout,
+                                 std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "table_suite: " << e.what() << "\n";
+    return 1;
+  }
+
   std::ofstream f(opts.json);
   if (!f) {
     std::cerr << "cannot write " << opts.json << "\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -9,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "bench/diff_compare.hpp"
 #include "bench/paper_params.hpp"
 #include "harness/parallel_runner.hpp"
 #include "model/model_set.hpp"
@@ -18,6 +20,8 @@
 #include "obs/diagnose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
+#include "obs/profile.hpp"
+#include "obs/profile_diff.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -101,17 +105,23 @@ struct CellFlags {
   // Diagnosis implies tracing (and benefits from metrics; the caller turns
   // both on in flagsOf) — the Diagnoser is a pure trace/metrics consumer.
   bool diagnose = false;
+  // Profiling implies tracing and metering (the caller turns both on in
+  // flagsOf) — buildRunProfile is a pure trace/metrics consumer too.
+  bool profile = false;
   net::FaultPlan faults;
   // Engine workers per cell (resolved through VODSM_SIM_THREADS when 0).
   int sim_threads = 1;
 };
 
 CellFlags flagsOf(const Options& o) {
-  CellFlags f{o.breakdown || o.critpath || o.pageheat || o.diagnose,
+  const bool profile = !o.profile_dir.empty() || !o.compare_dir.empty();
+  CellFlags f{o.breakdown || o.critpath || o.pageheat || o.diagnose ||
+                  profile,
               o.critpath,
               o.pageheat,
-              o.metrics || o.diagnose,
+              o.metrics || o.diagnose || profile,
               o.diagnose,
+              profile,
               {},
               sim::resolveSimThreads(o.sim_threads)};
   if (!o.faults.empty()) {
@@ -148,6 +158,7 @@ RunResult runCell(const CellFlags& flags, harness::RunConfig base,
     cfg.critpath = flags.critpath;
     cfg.pageheat = flags.pageheat;
     cfg.diagnose = flags.diagnose;
+    cfg.profile = flags.profile;
     if (!flags.faults.empty()) cfg.faults = &flags.faults;
     cfg.sim_threads = threads;
     const auto t0 = Clock::now();
@@ -587,6 +598,63 @@ SpecRun runSpec(const TableSpec& spec, int jobs) {
   return out;
 }
 
+std::string profileFileName(const std::string& cell_id) {
+  return diff::cellProfileFileName(cell_id);
+}
+
+int writeCellProfiles(const std::string& dir,
+                      const std::vector<TableSpec>& specs,
+                      const std::vector<SpecRun>& runs, std::ostream& log) {
+  std::filesystem::create_directories(dir);
+  int written = 0;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    for (size_t i = 0; i < specs[s].cells.size(); ++i) {
+      const RunResult& r = runs[s].results[i];
+      if (!r.profile.enabled()) continue;  // screened / MPI reference cells
+      obs::RunProfile p = r.profile;
+      p.label = specs[s].cells[i].id;
+      const std::filesystem::path path =
+          std::filesystem::path(dir) / profileFileName(p.label);
+      std::ofstream f(path);
+      VODSM_CHECK_MSG(f.good(), "cannot write " + path.string());
+      obs::writeRunProfileJson(f, p);
+      ++written;
+    }
+  }
+  log << "profiles: wrote " << written << " cell profiles to " << dir
+      << "\n";
+  return written;
+}
+
+int compareCellProfiles(const std::string& baseline_dir,
+                        const std::vector<TableSpec>& specs,
+                        const std::vector<SpecRun>& runs, std::ostream& os,
+                        std::ostream& log) {
+  int printed = 0;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    for (size_t i = 0; i < specs[s].cells.size(); ++i) {
+      const RunResult& r = runs[s].results[i];
+      if (!r.profile.enabled()) continue;
+      const std::string& id = specs[s].cells[i].id;
+      const std::filesystem::path path =
+          std::filesystem::path(baseline_dir) / profileFileName(id);
+      if (!std::filesystem::exists(path)) {
+        log << "compare: no baseline profile for " << id << " ("
+            << path.string() << ")\n";
+        continue;
+      }
+      const obs::RunProfile baseline =
+          obs::loadRunProfileFile(path.string());
+      obs::RunProfile current = r.profile;
+      current.label = id;
+      const obs::DiffReport report = obs::diffProfiles(baseline, current);
+      obs::printDiffReport(os, report, "Differential report: " + id);
+      ++printed;
+    }
+  }
+  return printed;
+}
+
 namespace {
 
 std::string jsonEsc(const std::string& s) {
@@ -756,6 +824,16 @@ int tableMain(const TableSpec& spec, const Options& o) {
       if (run.results[i].diagnosis.enabled())
         obs::printDiagnosis(std::cout, run.results[i].diagnosis,
                             "Diagnosis: " + spec.cells[i].id);
+  }
+  try {
+    if (!o.profile_dir.empty())
+      writeCellProfiles(o.profile_dir, {spec}, {run}, std::cerr);
+    if (!o.compare_dir.empty())
+      compareCellProfiles(o.compare_dir, {spec}, {run}, std::cout,
+                          std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   if (!o.json.empty()) {
     std::ofstream f(o.json);

@@ -72,6 +72,27 @@ struct SpecRun {
 // Runs a spec's cells across `jobs` host threads (see parallel_runner.hpp).
 SpecRun runSpec(const TableSpec& spec, int jobs);
 
+// Profile file name for a cell id: '/' becomes '_' and ".profile.json" is
+// appended ("IS/LRC_d/16p" -> "IS_LRC_d_16p.profile.json").
+std::string profileFileName(const std::string& cell_id);
+
+// Writes each profiled cell's persisted run profile (obs::RunProfile JSON,
+// labelled with the cell id) into `dir`, creating it if needed. Cells
+// without a profile — screened cells and the unmetered MPI reference runs —
+// are skipped. Logs a summary line to `log`; returns the number written.
+int writeCellProfiles(const std::string& dir,
+                      const std::vector<TableSpec>& specs,
+                      const std::vector<SpecRun>& runs, std::ostream& log);
+
+// Loads per-cell baseline profiles from `baseline_dir` and prints the
+// ranked differential report (baseline = A, this run = B) to `os` for
+// every profiled cell whose baseline exists, in cell order. Missing
+// baselines are noted on `log`. Returns the number of reports printed.
+int compareCellProfiles(const std::string& baseline_dir,
+                        const std::vector<TableSpec>& specs,
+                        const std::vector<SpecRun>& runs, std::ostream& os,
+                        std::ostream& log);
+
 // JSON record for BENCH_tables.json: per-cell simulated + host seconds,
 // sweep wall-clock, and (when measured) the serial baseline and speedup.
 void writeTablesJson(std::ostream& os, const std::vector<TableSpec>& specs,

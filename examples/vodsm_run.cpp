@@ -26,6 +26,8 @@
 #include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/profile.hpp"
+#include "obs/profile_diff.hpp"
 #include "support/table.hpp"
 
 using namespace vodsm;
@@ -51,6 +53,13 @@ namespace {
       "  --pageheat-csv=FILE  write the full per-page table as CSV\n"
       "  --diagnose[=FILE]  print the ranked why-is-this-run-slow report;\n"
       "                  with =FILE also write it as JSON\n"
+      "  --profile=FILE  write the persisted run profile (byte-stable JSON\n"
+      "                  summary: buckets, critical path, barrier episodes,\n"
+      "                  page heat, metric peaks, wire counters)\n"
+      "  --compare=BASE.profile.json  diff this run against a baseline\n"
+      "                  profile and print the ranked why-is-B-slower report\n"
+      "  --compare-json=FILE  also write the differential report as JSON\n"
+      "                  (requires --compare)\n"
       "  --memstats      print peak/mean counter-gauge summary (twin/diff\n"
       "                  bytes, queue depths, link utilization)\n"
       "  --faults=SPEC   inject deterministic faults; SPEC is\n"
@@ -139,9 +148,10 @@ int main(int argc, char** argv) {
       "seed",         "sim-threads",              "trace",
       "breakdown",    "netstats",  "critpath",     "pageheat",
       "pageheat-csv", "memstats",  "metrics-csv",  "metrics-interval",
-      "faults",       "diagnose",  "keys",         "buckets",
-      "iters",        "n",         "rows",         "cols",
-      "samples",      "epochs",    "hidden"};
+      "faults",       "diagnose",  "profile",      "compare",
+      "compare-json", "keys",      "buckets",      "iters",
+      "n",            "rows",      "cols",         "samples",
+      "epochs",       "hidden"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -181,19 +191,31 @@ int main(int argc, char** argv) {
   const std::string diagnose_value = args.get("diagnose", "");
   const std::string diagnose_json =
       diagnose_value == "1" ? "" : diagnose_value;
+  // Profiles and comparisons consume the trace and metrics summary, so they
+  // turn both on (like --diagnose). Both are post-processing: the simulated
+  // run stays bit-identical.
+  const std::string profile_path = args.get("profile", "");
+  const std::string compare_path = args.get("compare", "");
+  const std::string compare_json = args.get("compare-json", "");
+  if (!compare_json.empty() && compare_path.empty()) {
+    std::fprintf(stderr, "error: --compare-json requires --compare\n");
+    usage(argv[0]);
+  }
+  const bool want_profile = !profile_path.empty() || !compare_path.empty();
   obs::TraceRecorder recorder;
   if (!trace_path.empty() || want_breakdown || want_critpath || want_pageheat ||
-      !pageheat_csv.empty() || want_diagnose)
+      !pageheat_csv.empty() || want_diagnose || want_profile)
     cfg.trace = &recorder;
   cfg.critpath = want_critpath;
   cfg.pageheat = want_pageheat || !pageheat_csv.empty();
   cfg.diagnose = want_diagnose;
+  cfg.profile = want_profile;
   // Metrics piggyback on any trace export (counter tracks) and are also
   // available standalone via --memstats / --metrics-csv.
   obs::MetricsRegistry registry{
       sim::usec(static_cast<int64_t>(args.num("metrics-interval", 1000)))};
   if (want_memstats || !metrics_csv.empty() || !trace_path.empty() ||
-      want_diagnose)
+      want_diagnose || want_profile)
     cfg.metrics = &registry;
   net::FaultPlan fault_plan;
   const std::string fault_spec = args.get("faults", "");
@@ -211,6 +233,12 @@ int main(int argc, char** argv) {
   else if (runtime == "vc_sd" || runtime == "mpi")
     cfg.protocol = dsm::Protocol::kVcSd;
   else usage(argv[0]);
+  if (runtime == "mpi" && want_profile) {
+    std::fprintf(stderr,
+                 "error: --profile/--compare are not available for the mpi "
+                 "runtime (no DSM trace to profile)\n");
+    return 2;
+  }
 
   const std::string title = app + " on " + runtime + " (" + variant + "), " +
                             std::to_string(cfg.nprocs) + " processors";
@@ -285,6 +313,40 @@ int main(int argc, char** argv) {
       obs::writeDiagnosisJson(os, result.diagnosis);
       std::printf("diagnosis: %zu findings -> %s\n",
                   result.diagnosis.findings.size(), diagnose_json.c_str());
+    }
+  }
+  if (want_profile) result.profile.label = title;
+  if (!profile_path.empty()) {
+    std::ofstream os(profile_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", profile_path.c_str());
+      return 1;
+    }
+    obs::writeRunProfileJson(os, result.profile);
+    std::printf("profile -> %s\n", profile_path.c_str());
+  }
+  if (!compare_path.empty()) {
+    try {
+      const obs::RunProfile baseline = obs::loadRunProfileFile(compare_path);
+      const obs::DiffReport report =
+          obs::diffProfiles(baseline, result.profile);
+      obs::printDiffReport(std::cout, report,
+                           "Differential report: " + baseline.label +
+                               " (A) vs " + title + " (B)");
+      if (!compare_json.empty()) {
+        std::ofstream os(compare_json, std::ios::binary);
+        if (!os) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       compare_json.c_str());
+          return 1;
+        }
+        obs::writeDiffReportJson(os, report);
+        std::printf("differential report: %zu findings -> %s\n",
+                    report.findings.size(), compare_json.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
   if (want_memstats) {

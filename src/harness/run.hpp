@@ -13,6 +13,7 @@
 #include "obs/diagnose.hpp"
 #include "obs/metrics.hpp"
 #include "obs/page_heat.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace vodsm::harness {
@@ -42,6 +43,10 @@ struct RunConfig {
   // the other analyses: a diagnosed run is bit-identical to an undiagnosed
   // one, and the report itself is deterministic across --jobs/--sim-threads.
   bool diagnose = false;
+  // Builds a persisted run profile (obs::RunProfile) from the trace and
+  // metrics (requires `trace`). Pure post-processing like the analyses
+  // above: a profiled run is bit-identical to an unprofiled one.
+  bool profile = false;
   // Caller-owned fault plan (net::FaultPlan); null or empty disables
   // injection and keeps the run byte-identical to a plan-free build.
   const net::FaultPlan* faults = nullptr;
@@ -62,6 +67,9 @@ struct RunResult {
   // Ranked findings from the diagnosis passes; empty unless requested via
   // RunConfig::diagnose on a traced run.
   obs::Diagnosis diagnosis;
+  // Persisted run profile; empty unless requested via RunConfig::profile on
+  // a traced run. The caller labels it before writing.
+  obs::RunProfile profile;
   // Counter/gauge aggregates (peaks, finals, means); empty unless the run
   // was metered via RunConfig::metrics. The MPI reference runner does not
   // meter, so its results leave this empty.
@@ -104,6 +112,7 @@ void collectResult(const ClusterT& cluster, const RunConfig& cfg,
     if (cfg.critpath) out.critpath = cluster.criticalPath();
     if (cfg.pageheat) out.pageheat = cluster.pageHeat();
     if (cfg.diagnose) out.diagnosis = cluster.diagnosis();
+    if (cfg.profile) out.profile = cluster.runProfile();
   }
   if (cfg.metrics) out.metrics = cluster.metricsSummary();
 }

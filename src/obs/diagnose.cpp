@@ -20,6 +20,7 @@ Diagnoser::Diagnoser(bool with_default_catalog) {
   passes_.push_back(passes::makeGrantStormPass());
   passes_.push_back(passes::makeAllToAllDiffPass());
   passes_.push_back(passes::makeImbalancePass());
+  passes_.push_back(passes::makePageImbalancePass());
   passes_.push_back(passes::makeDiffStoreGrowthPass());
   passes_.push_back(passes::makeHotspotPass());
 }

@@ -58,6 +58,22 @@ enum class FindingCat : uint8_t {
   kLoadImbalance,
   kDiffStoreGrowth,
   kHotspot,
+  // Page-granular refinement of a barrier-imbalance finding: which pages
+  // the slow node was stalled on inside the gap (passes/page_imbalance.cpp).
+  kPageImbalance,
+  // Differential categories, emitted only by obs::diffProfiles
+  // (profile_diff.hpp) when explaining the makespan delta between two run
+  // profiles — never by the single-run passes. Order encodes the same
+  // root-cause-over-symptom rule: a detected transfer shift outranks the
+  // per-category deltas it manifests as, which outrank the secondary
+  // episode/page/wire attributions.
+  kTransferShift,
+  kPathDelta,
+  kEpisodeDelta,
+  kPageDelta,
+  kNetDelta,
+  kMetricDelta,
+  kStructureDelta,
   kFindingCatCount,
 };
 inline constexpr int kFindingCatCount =
@@ -67,7 +83,11 @@ inline constexpr const char* kFindingCatName[kFindingCatCount] = {
     "degraded_link",   "retransmission_storm",
     "grant_storm",     "all_to_all_diff",
     "load_imbalance",  "diff_store_growth",
-    "critical_path_hotspot",
+    "critical_path_hotspot", "page_imbalance",
+    "transfer_shift",  "critical_path_delta",
+    "episode_delta",   "page_heat_delta",
+    "net_delta",       "metric_delta",
+    "structure_delta",
 };
 
 inline const char* findingCatName(FindingCat c) {

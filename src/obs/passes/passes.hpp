@@ -21,6 +21,7 @@ std::unique_ptr<Pass> makeAllToAllDiffPass();  // comm_patterns.cpp
 
 // Load / memory structure.
 std::unique_ptr<Pass> makeImbalancePass();        // imbalance.cpp
+std::unique_ptr<Pass> makePageImbalancePass();    // page_imbalance.cpp
 std::unique_ptr<Pass> makeDiffStoreGrowthPass();  // memory.cpp
 
 // Catch-all critical-path summarizer (always emits when a path exists).

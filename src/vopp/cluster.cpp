@@ -131,6 +131,43 @@ obs::Diagnosis Cluster::diagnosis() const {
       });
 }
 
+obs::RunProfile Cluster::runProfile() const {
+  if (!opts_.trace) return {};
+  const obs::MetricsSummary metrics = metricsSummary();
+  obs::RunProfile p =
+      obs::buildRunProfile(*opts_.trace, opts_.nprocs, finish_time_,
+                           metrics.enabled() ? &metrics : nullptr);
+  // The profile's per-class counters are keyed by kProfileClassName, whose
+  // order mirrors net::MsgClass value-for-value (obs sits below net, so the
+  // mirror is asserted here where both are in scope).
+  static_assert(static_cast<int>(net::MsgClass::kAcquire) == 0 &&
+                    static_cast<int>(net::MsgClass::kGrant) == 1 &&
+                    static_cast<int>(net::MsgClass::kRelease) == 2 &&
+                    static_cast<int>(net::MsgClass::kDiffRequest) == 3 &&
+                    static_cast<int>(net::MsgClass::kDiffReply) == 4 &&
+                    static_cast<int>(net::MsgClass::kBarrier) == 5 &&
+                    static_cast<int>(net::MsgClass::kData) == 6 &&
+                    static_cast<int>(net::MsgClass::kOther) == 7 &&
+                    obs::kProfileClassCount == net::kMsgClassCount,
+                "profile class table must mirror net::MsgClass");
+  const net::NetStats& ns = netStats();
+  p.has_net = true;
+  for (int c = 0; c < obs::kProfileClassCount; ++c) {
+    p.classes[c].messages = ns.kind[c].messages;
+    p.classes[c].payload_bytes = ns.kind[c].payload_bytes;
+    p.classes[c].retransmissions = ns.kind[c].retransmissions;
+    p.classes[c].drops = ns.kind[c].drops;
+  }
+  p.net_messages = ns.messages;
+  p.net_payload_bytes = ns.payload_bytes;
+  p.net_retransmissions = ns.retransmissions;
+  p.net_acks = ns.acks;
+  p.net_ack_drops = ns.ack_drops;
+  p.net_frames_sent = ns.frames_sent;
+  p.net_frames_delivered = ns.frames_delivered;
+  return p;
+}
+
 dsm::DsmStats Cluster::dsmStats() const {
   dsm::DsmStats total;
   for (const auto& ctx : ctxs_) total.add(ctx->stats);

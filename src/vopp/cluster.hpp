@@ -30,6 +30,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/diagnose.hpp"
 #include "obs/page_heat.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -296,6 +297,10 @@ class Cluster {
   // where the dsm message classifier and the run's NetConfig are in scope —
   // obs itself stays below those layers.
   obs::Diagnosis diagnosis() const;
+  // Builds a persisted run profile from the recorded trace, metrics summary
+  // and transport counters. Empty when untraced. Defined in cluster.cpp,
+  // where net::NetStats is in scope — obs itself stays below net.
+  obs::RunProfile runProfile() const;
   // Inspect a node's final memory (for result validation).
   ByteSpan memoryOf(int node, size_t offset, size_t len) const {
     return ctxs_.at(static_cast<size_t>(node))->store.rangeView(offset, len);
