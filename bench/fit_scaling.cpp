@@ -84,15 +84,29 @@ std::string fmt(double v, int prec = 3) {
 
 int main(int argc, char** argv) {
   std::string path = "BENCH_tables.json";
+  std::string validate_path;
+  double max_err = 0.25;
   int max_p = 4096;
   const auto usage = [&] {
-    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--max-p=N]\n";
+    std::cerr << "usage: " << argv[0]
+              << " [--json=PATH] [--max-p=N]"
+                 " [--validate=SCALING.json [--max-err=F]]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       path = a.substr(7);
+    } else if (a.rfind("--validate=", 0) == 0) {
+      validate_path = a.substr(11);
+    } else if (a.rfind("--max-err=", 0) == 0) {
+      const std::string v = a.substr(10);
+      char* end = nullptr;
+      max_err = std::strtod(v.c_str(), &end);
+      if (v.empty() || end != v.c_str() + v.size() || max_err <= 0) {
+        std::cerr << a << ": --max-err needs a number > 0\n";
+        return usage();
+      }
     } else if (a.rfind("--max-p=", 0) == 0) {
       // atoi would silently turn a typo into 0; validate instead.
       const std::string v = a.substr(8);
@@ -229,6 +243,100 @@ int main(int argc, char** argv) {
                     << slow << " through p = " << max_p << "\n";
         }
       }
+  }
+
+  // --validate: check the fits' extrapolations against a measured large-p
+  // sweep (BENCH_scaling.json from bench/table11_scaling). Only star-fabric
+  // cells are comparable — the "_ft" cells run a different protocol stack
+  // (fat tree, tree barrier, hashed view homes) than the grid the models
+  // were fitted on — and only p beyond the training grid tests
+  // extrapolation rather than interpolation. The gate is on the median
+  // relative error: congestion collapse is a regime change the power-law
+  // form cannot follow (star LRC at 256p), so the collapse cell is shown
+  // in the report without dragging the verdict.
+  if (!validate_path.empty()) {
+    std::ifstream vf(validate_path);
+    if (!vf) {
+      std::cerr << "cannot read " << validate_path << "\n";
+      return 1;
+    }
+    std::stringstream vbuf;
+    vbuf << vf.rdbuf();
+    Json vdoc = Json::parse(vbuf.str());
+
+    struct Row {
+      std::string id;
+      double measured, predicted, rel_err;
+    };
+    std::vector<Row> rows;
+    for (const Json& table : vdoc.at("tables").items()) {
+      for (const Json& cell : table.at("cells").items()) {
+        std::string app, impl;
+        int procs = 0;
+        if (!splitCellId(cell.at("id").asString(), app, impl, procs)) continue;
+        if (impl == "seq") continue;
+        if (impl.size() > 3 && impl.compare(impl.size() - 3, 3, "_ft") == 0)
+          continue;
+        auto ai = totals.find(app);
+        if (ai == totals.end()) continue;
+        auto ii = ai->second.find(impl);
+        if (ii == ai->second.end()) continue;
+        auto si = series.find({app, impl});
+        if (si == series.end()) continue;
+        int train_max = 0;
+        for (const Sample& s : si->second.samples)
+          train_max = std::max(train_max, s.procs);
+        if (procs <= train_max) continue;
+        const double meas = cell.at("sim_seconds").asNumber();
+        if (meas <= 0) continue;
+        // Refit on the asymptotic tail of the grid (top octave, e.g.
+        // {16, 24, 32} of a 2..32 sweep). The full-grid fit is dominated by
+        // the small-p points where compute still shrinks ~1/p; the rising
+        // communication terms only show their exponent at the top of the
+        // grid, and extrapolation has to follow those.
+        std::vector<std::pair<int, double>> tail;
+        for (const Sample& s : si->second.samples)
+          if (2 * s.procs >= train_max) {
+            auto ts = s.seconds.find("total");
+            if (ts != s.seconds.end() && ts->second > 0)
+              tail.emplace_back(s.procs, ts->second);
+          }
+        Fit tail_fit = tail.size() >= 2 ? fitSeries(tail) : Fit{};
+        const Fit& model = tail_fit.ok ? tail_fit : ii->second;
+        const double pred = model.eval(procs);
+        rows.push_back({cell.at("id").asString(), meas, pred,
+                        std::abs(pred - meas) / meas});
+      }
+    }
+    if (rows.empty()) {
+      std::cerr << validate_path
+                << " has no star cells beyond the fitted grid\n";
+      return 1;
+    }
+    std::cout << "\nExtrapolation check against " << validate_path << ":\n";
+    TextTable vt;
+    vt.header({"cell", "measured (s)", "predicted (s)", "rel err"});
+    std::vector<double> errs;
+    for (const Row& r : rows) {
+      vt.row({r.id, fmt(r.measured, 4), fmt(r.predicted, 4),
+              fmt(r.rel_err * 100, 1) + "%"});
+      errs.push_back(r.rel_err);
+    }
+    vt.print(std::cout);
+    std::sort(errs.begin(), errs.end());
+    const double median = errs.size() % 2
+                              ? errs[errs.size() / 2]
+                              : 0.5 * (errs[errs.size() / 2 - 1] +
+                                       errs[errs.size() / 2]);
+    std::cout << "median relative error " << fmt(median * 100, 1) << "% over "
+              << errs.size() << " cells (gate: " << fmt(max_err * 100, 1)
+              << "%)\n";
+    if (median > max_err) {
+      std::cerr << "extrapolation gate failed: median error "
+                << fmt(median * 100, 1) << "% > " << fmt(max_err * 100, 1)
+                << "%\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -3,6 +3,12 @@
 // and rebroadcast) versus pure-synchronization barriers (VC). This isolates
 // the paper's central structural claim: "barriers in VOPP simply
 // synchronize the processors without any consistency maintenance".
+//
+// BM_BarrierAlg then sweeps the barrier algorithm itself — centralized
+// manager vs radix-4 combining tree vs butterfly (dissemination) — at
+// p up to 256, reporting the simulated barrier time and the frame count on
+// the manager's downlink (node 0), the centralized algorithm's incast
+// bottleneck that the scalable algorithms exist to remove.
 #include <benchmark/benchmark.h>
 
 #include "vopp/cluster.hpp"
@@ -11,14 +17,24 @@ namespace {
 
 using namespace vodsm;
 
-double barrierMicros(dsm::Protocol proto, int procs, bool dirty_pages) {
-  vopp::Cluster cluster({.nprocs = procs, .protocol = proto});
+struct BarrierRun {
+  double barrier_micros = 0;
+  // Frames delivered to node 0, the centralized manager's home: every
+  // arrival and every ack funnels through here under kCentral, only the
+  // node's own tree/butterfly neighbors otherwise.
+  uint64_t manager_frames = 0;
+};
+
+BarrierRun barrierRun(dsm::Protocol proto, dsm::BarrierAlg alg, int procs,
+                      bool dirty_pages, int rounds = 20) {
+  vopp::Cluster cluster(
+      {.nprocs = procs, .protocol = proto, .proto = {.barrier = alg}});
   // One view/region per node so every node dirties private pages between
   // barriers (the consistency payload for LRC).
   std::vector<dsm::ViewId> views;
   for (int i = 0; i < procs; ++i) views.push_back(cluster.defineView(4 * 4096));
   cluster.run([&](vopp::Node& node) -> sim::Task<void> {
-    for (int round = 0; round < 20; ++round) {
+    for (int round = 0; round < rounds; ++round) {
       if (dirty_pages) {
         dsm::ViewId v = views[static_cast<size_t>(node.id())];
         size_t off = node.cluster().viewOffset(v);
@@ -31,7 +47,8 @@ double barrierMicros(dsm::Protocol proto, int procs, bool dirty_pages) {
       co_await node.barrier();
     }
   });
-  return cluster.dsmStats().avgBarrierMicros();
+  return {cluster.dsmStats().avgBarrierMicros(),
+          cluster.netStatsFor(0).frames_delivered};
 }
 
 void BM_Barrier(benchmark::State& state) {
@@ -39,7 +56,9 @@ void BM_Barrier(benchmark::State& state) {
   const int procs = static_cast<int>(state.range(1));
   double micros = 0;
   for (auto _ : state) {
-    micros = barrierMicros(proto, procs, /*dirty_pages=*/true);
+    micros = barrierRun(proto, dsm::BarrierAlg::kCentral, procs,
+                        /*dirty_pages=*/true)
+                 .barrier_micros;
     benchmark::DoNotOptimize(micros);
   }
   state.counters["simulated_barrier_us"] = micros;
@@ -50,6 +69,27 @@ void registerArgs(benchmark::internal::Benchmark* b) {
     for (int procs : {2, 8, 16, 32}) b->Args({proto, procs});
 }
 BENCHMARK(BM_Barrier)->Apply(registerArgs)->Unit(benchmark::kMillisecond);
+
+void BM_BarrierAlg(benchmark::State& state) {
+  const auto alg = static_cast<dsm::BarrierAlg>(state.range(0));
+  const int procs = static_cast<int>(state.range(1));
+  BarrierRun r;
+  for (auto _ : state) {
+    // VC_sd: the barrier carries no consistency payload, so the sweep
+    // isolates pure synchronization cost.
+    r = barrierRun(dsm::Protocol::kVcSd, alg, procs, /*dirty_pages=*/false);
+    benchmark::DoNotOptimize(r.barrier_micros);
+  }
+  state.counters["simulated_barrier_ns"] = r.barrier_micros * 1e3;
+  state.counters["manager_downlink_frames"] =
+      static_cast<double>(r.manager_frames);
+}
+
+void registerAlgArgs(benchmark::internal::Benchmark* b) {
+  for (int alg : {0, 1, 2})  // central, tree, butterfly
+    for (int procs : {32, 64, 128, 256}) b->Args({alg, procs});
+}
+BENCHMARK(BM_BarrierAlg)->Apply(registerAlgArgs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -17,6 +17,7 @@ foreach(var TABLE_SUITE BENCH_DIFF BASELINE OUT_DIR)
   endif()
 endforeach()
 
+file(MAKE_DIRECTORY "${OUT_DIR}")
 set(fresh "${OUT_DIR}/fresh_tables.json")
 set(fresh_profiles "${OUT_DIR}/fresh_profiles")
 execute_process(COMMAND "${TABLE_SUITE}" "--json=${fresh}"

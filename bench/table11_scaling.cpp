@@ -1,0 +1,16 @@
+// Table 11: IS scaling sweep to 256 processors (nightly --big: 1024).
+//
+// Not a paper table: the paper's testbed stops at 32 processors. This sweep
+// compares the paper's protocol stack (star fabric, centralized barrier
+// manager, id-mod-p lock/view homes) against the scalable stack (fat-tree
+// fabric, radix-4 tree barrier, hashed view homes — the "_ft" cells) as the
+// processor count doubles past the testbed, and feeds the committed
+// BENCH_scaling.json baseline behind the scaling_regression_gate ctest.
+// fit_scaling --validate checks its star cells against crossover
+// extrapolations fitted from the <= 32p paper grid.
+#include "bench/tables.hpp"
+
+int main(int argc, char** argv) {
+  auto opts = vodsm::bench::parseArgs(argc, argv);
+  return vodsm::bench::tableMain(vodsm::bench::table11Spec(opts), opts);
+}

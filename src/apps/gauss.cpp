@@ -225,6 +225,7 @@ GaussRun runGauss(const harness::RunConfig& config, const GaussParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
+                         .proto = config.proto,
                          .seed = config.seed,
                          .sim_threads = config.sim_threads,
                          .trace = config.trace,

@@ -297,6 +297,7 @@ IsRun runIs(const harness::RunConfig& config, const IsParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
+                         .proto = config.proto,
                          .seed = config.seed,
                          .sim_threads = config.sim_threads,
                          .trace = config.trace,

@@ -385,6 +385,7 @@ NnRun runNn(const harness::RunConfig& config, const NnParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
+                         .proto = config.proto,
                          .seed = config.seed,
                          .sim_threads = config.sim_threads,
                          .trace = config.trace,

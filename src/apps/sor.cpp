@@ -274,6 +274,7 @@ SorRun runSor(const harness::RunConfig& config, const SorParams& params,
                          .protocol = config.protocol,
                          .net = config.net,
                          .costs = config.costs,
+                         .proto = config.proto,
                          .seed = config.seed,
                          .sim_threads = config.sim_threads,
                          .trace = config.trace,

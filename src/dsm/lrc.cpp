@@ -47,11 +47,36 @@ void LrcRuntime::onMessage(net::Delivery&& d, const net::ReplyToken& token) {
       return;
     case kBarrRelease: {
       BarrReleaseMsg rel = BarrReleaseMsg::decode(d.payload);
+      if (ctx_.proto.barrier == BarrierAlg::kTree) {
+        // Fan the release down to our subtree before unblocking ourselves;
+        // the payload is the complete global set, forwarded verbatim.
+        const sim::Time when = d.arrive + ctx_.costs.handler_service;
+        for (int k = 0; k < treeChildCount(); ++k)
+          ctx_.endpoint.post(treeChild(k), kBarrRelease, Bytes(d.payload),
+                             when);
+      }
       auto it = barrier_waiters_.find(rel.barrier);
       VODSM_CHECK_MSG(it != barrier_waiters_.end(),
                       "unexpected barrier release " << rel.barrier);
       ctx_.clock.atLeast(d.arrive);
       it->second->fulfill(std::move(rel));
+      return;
+    }
+    case kBarrRound: {
+      BarrRoundMsg rm = BarrRoundMsg::decode(d.payload);
+      const auto key = std::make_pair(rm.barrier, rm.round);
+      auto it = round_waiters_.find(key);
+      if (it != round_waiters_.end()) {
+        ctx_.clock.atLeast(d.arrive);
+        it->second->fulfill(std::move(rm));
+      } else {
+        // The peer can be one barrier instance ahead of us (the classic
+        // dissemination-barrier overlap); park its message until we enter.
+        const bool parked =
+            round_early_.emplace(key, std::make_pair(std::move(rm), d.arrive))
+                .second;
+        VODSM_CHECK_MSG(parked, "duplicate early barrier round message");
+      }
       return;
     }
     default:
@@ -329,6 +354,10 @@ void LrcRuntime::onDiffReq(const DiffReqMsg& m, const net::ReplyToken& token,
 // ---------- barriers ----------
 
 sim::Task<void> LrcRuntime::barrier(BarrierId b) {
+  if (ctx_.proto.barrier == BarrierAlg::kButterfly) {
+    co_await barrierButterfly(b);
+    co_return;
+  }
   closeInterval();
   BarrArriveMsg arrive_msg;
   arrive_msg.barrier = b;
@@ -341,7 +370,11 @@ sim::Task<void> LrcRuntime::barrier(BarrierId b) {
   VODSM_CHECK_MSG(!barrier_waiters_.count(b),
                   "barrier " << b << " re-entered concurrently");
   barrier_waiters_[b] = std::move(waiter);
-  ctx_.endpoint.post(barrierManager(), kBarrArrive, arrive_msg.encode(),
+  // Tree mode: arrivals combine bottom-up, so every node (leaves included)
+  // first folds its own arrival locally; node 0's target is unchanged.
+  const NodeId arrive_at =
+      ctx_.proto.barrier == BarrierAlg::kTree ? ctx_.id : barrierManager();
+  ctx_.endpoint.post(arrive_at, kBarrArrive, arrive_msg.encode(),
                      ctx_.clock.now());
   BarrReleaseMsg rel = co_await *waiter_ptr;
   barrier_waiters_.erase(b);
@@ -370,6 +403,10 @@ void LrcRuntime::onBarrArrive(const BarrArriveMsg& m, sim::Time arrive) {
     t->instant(ctx_.id, obs::Cat::kBarrFold, st.busy_until, m.barrier,
                notice_count);
   st.arrived++;
+  if (ctx_.proto.barrier == BarrierAlg::kTree) {
+    treeBarrierStep(m.barrier, st);
+    return;
+  }
   if (st.arrived < ctx_.nprocs) return;
 
   ctx_.stats.barriers++;
@@ -383,6 +420,84 @@ void LrcRuntime::onBarrArrive(const BarrArriveMsg& m, sim::Time arrive) {
   for (NodeId n = 0; n < static_cast<NodeId>(ctx_.nprocs); ++n)
     ctx_.endpoint.post(n, kBarrRelease, Bytes(encoded), st.busy_until);
   barrier_mgr_.erase(m.barrier);
+}
+
+void LrcRuntime::treeBarrierStep(BarrierId b, BarrierMgrState& st) {
+  // Wait for this node's own arrival plus one merged arrival per child
+  // subtree; then the (node, index)-keyed map holds the subtree's interval
+  // set sorted per writer ascending, as the contiguity check downstream
+  // requires.
+  if (st.arrived < 1 + treeChildCount()) return;
+  if (ctx_.id == barrierManager()) {
+    ctx_.stats.barriers++;
+    BarrReleaseMsg rel;
+    rel.barrier = b;
+    rel.intervals.reserve(st.merged.size());
+    for (auto& [key, iv] : st.merged) rel.intervals.push_back(std::move(iv));
+    // Self-post: the release fans down the tree from the root.
+    ctx_.endpoint.post(ctx_.id, kBarrRelease, rel.encode(), st.busy_until);
+  } else {
+    BarrArriveMsg up;
+    up.barrier = b;
+    up.node = ctx_.id;
+    up.intervals.reserve(st.merged.size());
+    for (auto& [key, iv] : st.merged) up.intervals.push_back(std::move(iv));
+    ctx_.endpoint.post(treeParent(), kBarrArrive, up.encode(), st.busy_until);
+  }
+  barrier_mgr_.erase(b);
+}
+
+sim::Task<void> LrcRuntime::barrierButterfly(BarrierId b) {
+  closeInterval();
+  const sim::Time t0 = ctx_.clock.now();
+  if (auto* t = ctx_.trace) t->begin(ctx_.id, obs::Cat::kBarrierWait, t0, b);
+  const auto p = static_cast<uint32_t>(ctx_.nprocs);
+  // Everything learned since the last barrier (all nodes share that
+  // baseline, so per-writer contiguity from the baseline holds at every
+  // receiver). Each round ships the whole accumulated set, doubling the
+  // reach of every interval per round.
+  std::vector<mem::Interval> acc = intervalsNotCoveredBy(last_barrier_vc_);
+  for (uint32_t step = 1, round = 0; step < p; step <<= 1, ++round) {
+    BarrRoundMsg out;
+    out.barrier = b;
+    out.round = round;
+    out.node = ctx_.id;
+    out.intervals = acc;
+    ctx_.endpoint.post((ctx_.id + step) % p, kBarrRound, out.encode(),
+                       ctx_.clock.now());
+    BarrRoundMsg in = co_await awaitRound(b, round);
+    ctx_.clock.charge(ctx_.costs.barrier_fold);
+    for (const auto& iv : in.intervals) {
+      if (vc_[iv.node] >= iv.index) continue;
+      recordForeignInterval(iv);
+      acc.push_back(iv);
+    }
+  }
+  last_barrier_vc_ = vc_;
+  // One logical barrier per instance in the aggregate count, as in the
+  // managed variants.
+  if (ctx_.id == 0) ctx_.stats.barriers++;
+  if (auto* t = ctx_.trace)
+    t->end(ctx_.id, obs::Cat::kBarrierWait, ctx_.clock.now(), b);
+  ctx_.stats.barrier_wait_total += ctx_.clock.now() - t0;
+  ctx_.stats.barrier_waits++;
+}
+
+sim::Task<BarrRoundMsg> LrcRuntime::awaitRound(BarrierId b, uint32_t round) {
+  const auto key = std::make_pair(b, round);
+  auto eit = round_early_.find(key);
+  if (eit != round_early_.end()) {
+    BarrRoundMsg m = std::move(eit->second.first);
+    ctx_.clock.atLeast(eit->second.second);
+    round_early_.erase(eit);
+    co_return m;
+  }
+  auto waiter = std::make_unique<sim::Waiter<BarrRoundMsg>>();
+  auto* waiter_ptr = waiter.get();
+  round_waiters_[key] = std::move(waiter);
+  BarrRoundMsg m = co_await *waiter_ptr;
+  round_waiters_.erase(key);
+  co_return m;
 }
 
 // ---------- VOPP-on-LRC mapping (testing aid) ----------

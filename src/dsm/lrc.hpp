@@ -8,6 +8,11 @@
 // - Barriers are consistency points: every node ships its fresh intervals
 //   to the centralized barrier manager, which merges and rebroadcasts the
 //   global set. This is the centralized hot spot the paper measures.
+//   ProtoOptions can swap the centralized manager for a radix-k combining
+//   tree (arrivals merge level by level, the release fans back down) or a
+//   dissemination (butterfly) barrier (ceil(log2 p) peer-exchange rounds,
+//   each round carrying everything accumulated since barrier entry) — see
+//   DESIGN.md §3.12.
 #pragma once
 
 #include <deque>
@@ -71,6 +76,12 @@ class LrcRuntime : public Runtime {
   void onDiffReq(const DiffReqMsg& m, const net::ReplyToken& token,
                  sim::Time arrive);
   void onBarrArrive(const BarrArriveMsg& m, sim::Time arrive);
+  // Tree mode: forward the merged subtree arrival up (or, at the root,
+  // start the release fan-down) once this node and all its children are in.
+  void treeBarrierStep(BarrierId b, BarrierMgrState& st);
+  // Butterfly mode: the whole barrier is peer-exchange rounds.
+  sim::Task<void> barrierButterfly(BarrierId b);
+  sim::Task<BarrRoundMsg> awaitRound(BarrierId b, uint32_t round);
 
   // Close the current write interval: diff dirty pages, log them, record
   // the interval.
@@ -105,6 +116,14 @@ class LrcRuntime : public Runtime {
       grant_waiters_;
   std::unordered_map<BarrierId, std::unique_ptr<sim::Waiter<BarrReleaseMsg>>>
       barrier_waiters_;
+  // Butterfly rounds: exactly one peer sends per (barrier, round), but its
+  // message can overtake this node's progress — park early arrivals with
+  // their arrival time.
+  std::map<std::pair<BarrierId, uint32_t>,
+           std::unique_ptr<sim::Waiter<BarrRoundMsg>>>
+      round_waiters_;
+  std::map<std::pair<BarrierId, uint32_t>, std::pair<BarrRoundMsg, sim::Time>>
+      round_early_;
 
   // Manager-side state (meaningful only for ids this node manages).
   std::unordered_map<LockId, LockMgrState> lock_mgr_;

@@ -4,6 +4,7 @@
 // fault handlers.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "dsm/msgs.hpp"
@@ -25,7 +26,7 @@ struct NodeCtx {
   NodeCtx(NodeId id_, int nprocs_, sim::Engine& engine_, net::Network& network,
           const ViewMap& views_, const DsmCosts& costs_,
           obs::TraceRecorder* trace_ = nullptr,
-          obs::MetricsRegistry* metrics_ = nullptr)
+          obs::MetricsRegistry* metrics_ = nullptr, ProtoOptions proto_ = {})
       : id(id_),
         nprocs(nprocs_),
         engine(engine_),
@@ -33,6 +34,7 @@ struct NodeCtx {
         store(views_.heapBytes()),
         views(views_),
         costs(costs_),
+        proto(proto_),
         trace(trace_),
         metrics(metrics_) {
     endpoint.setClassifier(&classifyMsg);
@@ -47,6 +49,7 @@ struct NodeCtx {
   mem::PageStore store;
   const ViewMap& views;
   DsmCosts costs;
+  ProtoOptions proto;
   DsmStats stats;
   obs::TraceRecorder* trace;      // null when tracing is off
   obs::MetricsRegistry* metrics;  // null when metrics are off
@@ -132,10 +135,36 @@ class Runtime {
   virtual void checkReadAllowed(size_t, size_t) {}
   virtual void checkWriteAllowed(size_t, size_t) {}
 
+  // Lock managers follow the directory sharding policy: id mod p by
+  // default, a multiplicative hash under kHashed/kMigrate (locks never
+  // migrate; kMigrate only moves VC view homes).
   NodeId managerOf(LockId l) const {
-    return static_cast<NodeId>(l % static_cast<uint32_t>(ctx_.nprocs));
+    const auto p = static_cast<uint32_t>(ctx_.nprocs);
+    if (ctx_.proto.view_homes == ViewHomes::kDefault)
+      return static_cast<NodeId>(l % p);
+    return static_cast<NodeId>(homeHash(l) % p);
   }
+  // Root of the barrier structure: the centralized manager, and the root of
+  // the combining tree (the butterfly has no distinguished node).
   NodeId barrierManager() const { return 0; }
+
+  // Combining-tree shape (BarrierAlg::kTree): node i's parent is
+  // (i-1)/radix, its children radix*i+1 .. radix*i+radix, clamped to p.
+  NodeId treeParent() const {
+    const int r = ctx_.proto.barrier_radix;
+    return static_cast<NodeId>((static_cast<int>(ctx_.id) - 1) / r);
+  }
+  int treeChildCount() const {
+    const int r = ctx_.proto.barrier_radix;
+    const int first = r * static_cast<int>(ctx_.id) + 1;
+    if (first >= ctx_.nprocs) return 0;
+    return std::min(r, ctx_.nprocs - first);
+  }
+  NodeId treeChild(int k) const {
+    return static_cast<NodeId>(ctx_.proto.barrier_radix *
+                                   static_cast<int>(ctx_.id) +
+                               1 + k);
+  }
 
   NodeCtx& ctx_;
 };

@@ -23,6 +23,9 @@ struct RunConfig {
   int nprocs = 16;
   net::NetConfig net;
   dsm::DsmCosts costs;
+  // Barrier algorithm / view-home sharding (defaults reproduce the paper's
+  // centralized protocol byte-for-byte); the topology rides in `net`.
+  dsm::ProtoOptions proto;
   uint64_t seed = 42;
   // Engine worker threads for the conservative parallel schedule: 1 runs
   // the serial reference, N > 1 runs N workers with bit-identical results,

@@ -9,6 +9,7 @@
 //   release/barrier:           diff against twin, downgrade to read
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -21,30 +22,32 @@ namespace vodsm::mem {
 class PageStore {
  public:
   explicit PageStore(size_t bytes)
-      : mem_((bytes + kPageSize - 1) / kPageSize * kPageSize,
-             std::byte{0}),
-        pages_(mem_.size() / kPageSize) {}
+      : bytes_((bytes + kPageSize - 1) / kPageSize * kPageSize),
+        mem_(static_cast<std::byte*>(std::calloc(bytes_ ? bytes_ : 1, 1))),
+        pages_(bytes_ / kPageSize) {
+    VODSM_CHECK(mem_ != nullptr);
+  }
 
-  size_t sizeBytes() const { return mem_.size(); }
+  size_t sizeBytes() const { return bytes_; }
   size_t pageCount() const { return pages_.size(); }
 
   MutByteSpan page(PageId p) {
     VODSM_DCHECK(p < pageCount());
-    return MutByteSpan(mem_.data() + pageStart(p), kPageSize);
+    return MutByteSpan(mem_.get() + pageStart(p), kPageSize);
   }
   ByteSpan pageView(PageId p) const {
     VODSM_DCHECK(p < pageCount());
-    return ByteSpan(mem_.data() + pageStart(p), kPageSize);
+    return ByteSpan(mem_.get() + pageStart(p), kPageSize);
   }
 
   // Arbitrary byte range access (application data path).
   MutByteSpan range(size_t offset, size_t len) {
-    VODSM_CHECK(offset + len <= mem_.size());
-    return MutByteSpan(mem_.data() + offset, len);
+    VODSM_CHECK(offset + len <= bytes_);
+    return MutByteSpan(mem_.get() + offset, len);
   }
   ByteSpan rangeView(size_t offset, size_t len) const {
-    VODSM_CHECK(offset + len <= mem_.size());
-    return ByteSpan(mem_.data() + offset, len);
+    VODSM_CHECK(offset + len <= bytes_);
+    return ByteSpan(mem_.get() + offset, len);
   }
 
   Access access(PageId p) const { return pages_[p].access; }
@@ -92,7 +95,17 @@ class PageStore {
     std::unique_ptr<Bytes> twin;
   };
 
-  Bytes mem_;
+  struct FreeDeleter {
+    void operator()(std::byte* p) const { std::free(p); }
+  };
+
+  size_t bytes_;
+  // calloc, not a value-initialized vector: large heaps come from the OS as
+  // lazily-faulted zero pages, so a node's resident footprint is only the
+  // pages it actually touches. With per-node full copies of an O(p^2)-view
+  // address space (IS contribution views), eager zero-fill would make host
+  // memory O(p^3) and dominate wall-clock at 256 nodes.
+  std::unique_ptr<std::byte[], FreeDeleter> mem_;
   std::vector<PageMeta> pages_;
   std::vector<std::unique_ptr<Bytes>> twin_pool_;  // recycled twin buffers
   mutable Diff::Scratch scratch_;

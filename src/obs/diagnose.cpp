@@ -17,6 +17,7 @@ Diagnoser::Diagnoser(bool with_default_catalog) {
   passes_.push_back(passes::makeStragglerPass());
   passes_.push_back(passes::makeDegradedLinkPass());
   passes_.push_back(passes::makeRetransmitStormPass());
+  passes_.push_back(passes::makeTrunkSaturationPass());
   passes_.push_back(passes::makeGrantStormPass());
   passes_.push_back(passes::makeAllToAllDiffPass());
   passes_.push_back(passes::makeImbalancePass());
@@ -54,7 +55,8 @@ Diagnosis Diagnoser::run(const DiagnosisInput& in) const {
 Diagnosis diagnose(const TraceRecorder& trace, int nprocs, sim::Time finish,
                    const MetricsSummary* metrics,
                    std::function<WireClass(uint64_t)> classify,
-                   std::function<sim::Time(uint64_t)> tx_time) {
+                   std::function<sim::Time(uint64_t)> tx_time,
+                   std::vector<TrunkUtilization> trunks) {
   const EventGraph graph = buildEventGraph(trace, nprocs);
   const CriticalPath cp = computeCriticalPath(graph, finish);
   const Breakdown bd = foldBreakdown(trace, nprocs, finish);
@@ -71,6 +73,7 @@ Diagnosis diagnose(const TraceRecorder& trace, int nprocs, sim::Time finish,
   in.finish = finish;
   in.classify = std::move(classify);
   in.tx_time = std::move(tx_time);
+  in.trunks = std::move(trunks);
   return Diagnoser().run(in);
 }
 

@@ -1,0 +1,59 @@
+// Trunk-saturation detector for multi-switch fabrics: an inter-switch trunk
+// whose FIFO serialization kept it busy for a large fraction of the run is a
+// bisection-bandwidth bottleneck — traffic is queueing behind it no matter
+// how idle the edge links are. Severity is the trunk's busy fraction of the
+// makespan, damped because trunk occupancy overlaps with useful compute.
+// Star topologies have no trunks, so the pass is inert there.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/diagnose.hpp"
+#include "obs/passes/common.hpp"
+#include "obs/passes/passes.hpp"
+
+namespace vodsm::obs::passes {
+namespace {
+
+constexpr double kBusyThreshold = 0.40;  // of the makespan
+constexpr double kSeverityDamp = 0.5;
+
+class TrunkSaturationPass : public Pass {
+ public:
+  const char* name() const override { return "trunk_saturation"; }
+
+  void run(const DiagnosisInput& in,
+           std::vector<Finding>& out) const override {
+    if (in.finish <= 0 || in.trunks.empty()) return;
+    for (const TrunkUtilization& t : in.trunks) {
+      const double busy =
+          static_cast<double>(t.busy) / static_cast<double>(in.finish);
+      if (busy < kBusyThreshold) continue;
+      Finding f;
+      f.cat = FindingCat::kTrunkSaturation;
+      f.severity = kSeverityDamp * clamp01(busy);
+      f.location = std::string(t.up ? "uplink" : "downlink") + " trunk leaf " +
+                   std::to_string(t.leaf) + " <-> spine " +
+                   std::to_string(t.spine);
+      f.id = t.leaf;
+      f.evidence = "the trunk serialized " + std::to_string(t.frames) +
+                   " frames (" + fmtBytes(static_cast<int64_t>(t.wire_bytes)) +
+                   " on the wire) and was busy " + fmtDur(t.busy) + " — " +
+                   fmtPct(busy) + " of the makespan";
+      f.remedy = "cross-leaf traffic is queueing on this trunk; add spines "
+                 "(or raise trunk bandwidth), rebalance view homes across "
+                 "leaves, or prefer a barrier algorithm with leaf-local "
+                 "traffic";
+      out.push_back(std::move(f));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> makeTrunkSaturationPass() {
+  return std::make_unique<TrunkSaturationPass>();
+}
+
+}  // namespace vodsm::obs::passes

@@ -42,6 +42,9 @@ struct ClusterOptions {
   dsm::Protocol protocol = dsm::Protocol::kVcSd;
   net::NetConfig net;
   dsm::DsmCosts costs;
+  // Barrier algorithm / view-home sharding selection; the defaults keep
+  // every run byte-identical to the pre-scaling (centralized) protocol.
+  dsm::ProtoOptions proto;
   uint64_t seed = 42;
   // Engine worker threads (sim::resolveSimThreads semantics: 1 = serial
   // reference, N > 1 = conservative parallel schedule with bit-identical
@@ -285,6 +288,17 @@ class Cluster {
   const net::NetStats& netStats() const {
     VODSM_CHECK(network_ != nullptr);
     return network_->stats();
+  }
+  // One node's transport shard (deliveries count against the receiver, so
+  // shard 0 exposes e.g. the barrier manager's downlink traffic).
+  const net::NetStats& netStatsFor(int node) const {
+    VODSM_CHECK(network_ != nullptr);
+    return network_->statsFor(static_cast<net::NodeId>(node));
+  }
+  // Per-trunk utilization of a multi-switch fabric (empty on the star).
+  std::vector<net::Network::TrunkUse> trunkStats() const {
+    VODSM_CHECK(network_ != nullptr);
+    return network_->trunkStats();
   }
   // Aggregated counter/gauge view of the run. Empty (enabled() == false)
   // when the run was not metered.

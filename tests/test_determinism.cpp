@@ -17,6 +17,7 @@
 #include "apps/sor.hpp"
 #include "harness/parallel_runner.hpp"
 #include "harness/run.hpp"
+#include "support/check.hpp"
 
 namespace vodsm {
 namespace {
@@ -126,6 +127,35 @@ std::vector<std::pair<std::string, std::function<RunResult()>>> makeCells(
     c.net.random_loss = 0.02;
     c.net.rto = sim::msec(20);
     cells.emplace_back("IS/VC_sd/lossy", [=] {
+      return apps::runIs(c, is, apps::IsVariant::kVopp).result;
+    });
+  }
+
+  // Multi-switch fabrics with the scalable protocol stack: trunk FIFOs,
+  // tree/butterfly barrier traffic, and hashed/migrating view homes all
+  // add event paths that must stay schedule-independent too.
+  {
+    RunConfig c;
+    c.protocol = dsm::Protocol::kVcSd;
+    c.nprocs = 8;
+    c.sim_threads = sim_threads;
+    VODSM_CHECK(net::parseTopologySpec("fattree:leaf=4", &c.net.topology));
+    c.proto.barrier = dsm::BarrierAlg::kTree;
+    c.proto.view_homes = dsm::ViewHomes::kHashed;
+    cells.emplace_back("IS/VC_sd/fattree-tree", [=] {
+      return apps::runIs(c, is, apps::IsVariant::kVopp).result;
+    });
+  }
+  {
+    RunConfig c;
+    c.protocol = dsm::Protocol::kVcSd;
+    c.nprocs = 8;
+    c.sim_threads = sim_threads;
+    VODSM_CHECK(net::parseTopologySpec("leafspine:leaf=4,spines=2",
+                                       &c.net.topology));
+    c.proto.barrier = dsm::BarrierAlg::kButterfly;
+    c.proto.view_homes = dsm::ViewHomes::kMigrate;
+    cells.emplace_back("IS/VC_sd/leafspine-butterfly", [=] {
       return apps::runIs(c, is, apps::IsVariant::kVopp).result;
     });
   }
